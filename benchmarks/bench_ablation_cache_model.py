@@ -1,0 +1,67 @@
+"""Ablation (paper Sec. X): cache-aware analytical model.
+
+The paper attributes its largest prediction errors (ColdOnly, Fig. 17) to
+the model ignoring reuse through caches and expects that "making the model
+account for caching effects can further enhance the effectiveness of
+HotTiles predictions".  This bench measures the ColdOnly prediction error
+across the Table V set with the paper's model and with the cache-aware
+extension, against the same simulated ground truth.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.arch.configs import spade_sextans
+from repro.core.partition import HotTilesPartitioner
+from repro.core.traits import WorkerKind
+from repro.experiments.matrices import TABLE_V, load_matrix
+from repro.experiments.runner import calibrated
+from repro.sim.engine import simulate_homogeneous
+from repro.sparse.tiling import TiledMatrix
+
+
+@dataclass(frozen=True)
+class CacheModelAblation:
+    rows: List[Tuple[str, float, float]]  #: (matrix, err% paper model, err% cache-aware)
+
+    @property
+    def avg_paper_err(self) -> float:
+        return float(np.mean([r[1] for r in self.rows]))
+
+    @property
+    def avg_aware_err(self) -> float:
+        return float(np.mean([r[2] for r in self.rows]))
+
+    def render(self) -> str:
+        lines = ["Ablation -- ColdOnly prediction error, paper model vs cache-aware"]
+        lines.append(f"{'matrix':8s}{'paper %':>10s}{'cache-aware %':>15s}")
+        for m, p, a in self.rows:
+            lines.append(f"{m:8s}{p:>9.1f}{a:>14.1f}")
+        lines.append(
+            f"average: paper {self.avg_paper_err:.1f}% -> "
+            f"cache-aware {self.avg_aware_err:.1f}%"
+        )
+        return "\n".join(lines)
+
+
+def run_ablation() -> CacheModelAblation:
+    arch = calibrated(spade_sextans(4))
+    paper = HotTilesPartitioner(arch)
+    aware = HotTilesPartitioner(arch, cache_aware=True)
+    rows = []
+    for short in TABLE_V:
+        tiled = TiledMatrix(load_matrix(short), arch.tile_height, arch.tile_width)
+        actual = simulate_homogeneous(arch, tiled, WorkerKind.COLD).time_s
+        err_paper = abs(paper.predict_homogeneous(tiled, WorkerKind.COLD) - actual) / actual
+        err_aware = abs(aware.predict_homogeneous(tiled, WorkerKind.COLD) - actual) / actual
+        rows.append((short, 100 * err_paper, 100 * err_aware))
+    return CacheModelAblation(rows=rows)
+
+
+def test_ablation_cache_aware_model(run_experiment):
+    result = run_experiment(run_ablation)
+    assert len(result.rows) == 10
+    # The extension should not make the average ColdOnly prediction worse.
+    assert result.avg_aware_err <= result.avg_paper_err + 2.0

@@ -1,0 +1,48 @@
+"""Ablation: machine-parameter sweeps around the paper's fixed points.
+
+The paper pins K = 32 and 205 GB/s.  These sweeps check that the HotTiles
+advantage is not an artifact of those exact values: HotTiles should track
+or beat the best homogeneous strategy across a 16x bandwidth range and a
+K range that changes the scratchpad-derived tile width by 8x.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.arch.configs import spade_sextans
+from repro.experiments.matrices import load_matrix
+from repro.experiments.sweeps import SweepResult, bandwidth_sweep, k_sweep
+
+BW_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+KS = (8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class SweepAblation:
+    sweeps: List[SweepResult]
+
+    def render(self) -> str:
+        return "\n\n".join(s.render() for s in self.sweeps)
+
+
+def run_ablation() -> SweepAblation:
+    arch = spade_sextans(4)
+    matrix = load_matrix("pap")
+    return SweepAblation(
+        sweeps=[
+            bandwidth_sweep(arch, matrix, BW_FACTORS),
+            k_sweep(arch, matrix, KS),
+        ]
+    )
+
+
+def test_ablation_parameter_sweeps(run_experiment):
+    result = run_experiment(run_ablation)
+    bw, ks = result.sweeps
+    # HotTiles never loses badly to the best homogeneous at any point.
+    for sweep in (bw, ks):
+        for _p, hot, cold, ht in sweep.rows:
+            assert ht <= min(hot, cold) * 1.25
+    # Bandwidth monotonicity for HotTiles.
+    ht_times = bw.hottiles_ms()
+    assert all(a >= b * 0.98 for a, b in zip(ht_times, ht_times[1:]))

@@ -1,0 +1,55 @@
+"""Ablation (paper Sec. IV / Sec. X): free-dimension tile-size search.
+
+On SPADE-Sextans the tile width is pinned by the Sextans scratchpad but
+the tile height is free; the paper notes the methodology "can be
+iteratively applied to find the value that is predicted to deliver the
+maximum performance".  This bench sweeps the height and reports the
+predicted-best choice against the default square tile.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.configs import spade_sextans
+from repro.core.tilesize import search_tile_size
+from repro.experiments.matrices import load_matrix
+from repro.experiments.runner import calibrated
+
+
+@dataclass(frozen=True)
+class TileSizeAblation:
+    per_height_pred_ms: Dict[int, float]
+    chosen_height: int
+    default_height: int
+
+    def render(self) -> str:
+        lines = ["Ablation -- tile-height search on pap (predicted runtime)"]
+        for h, t in self.per_height_pred_ms.items():
+            marker = " <- chosen" if h == self.chosen_height else ""
+            lines.append(f"height {h:4d}: {t:.3f} ms{marker}")
+        return "\n".join(lines)
+
+
+def run_ablation() -> TileSizeAblation:
+    arch = calibrated(spade_sextans(4))
+    matrix = load_matrix("pap")
+    heights = [32, 64, 128, 256, 512]
+    per_height = {}
+    for h in heights:
+        choice, _ = search_tile_size(matrix, arch, heights=[h])
+        per_height[h] = choice.predicted_time_s * 1e3
+    best, _ = search_tile_size(matrix, arch, heights=heights)
+    return TileSizeAblation(
+        per_height_pred_ms=per_height,
+        chosen_height=best.tile_height,
+        default_height=arch.tile_height,
+    )
+
+
+def test_ablation_tile_height(run_experiment):
+    result = run_experiment(run_ablation)
+    assert result.chosen_height in result.per_height_pred_ms
+    chosen = result.per_height_pred_ms[result.chosen_height]
+    assert chosen == min(result.per_height_pred_ms.values())
+    # The search can only improve on the fixed default.
+    assert chosen <= result.per_height_pred_ms[result.default_height] + 1e-12

@@ -1,0 +1,19 @@
+"""Fig. 10 + Table VI: the main SPADE-Sextans (scale 4) comparison.
+
+Paper claim: HotTiles averages 8.7x / 1.9x / 2.0x / 1.25x over HotOnly /
+ColdOnly / IUnaware / BestHomogeneous across the ten Table V matrices.
+"""
+
+from repro.experiments.figures import figure10_table06
+
+
+def test_fig10_table06_spade_sextans(run_experiment):
+    result = run_experiment(figure10_table06)
+    assert len(result.runtimes_ms) == 10
+    avg = result.avg_speedup_vs
+    # Shape assertions: every baseline loses on average, hot-only worst.
+    assert avg["hot-only"] > 2.0
+    assert avg["cold-only"] > 1.2
+    assert avg["iunaware"] > 1.2
+    assert avg["best-hom"] > 1.0
+    assert avg["hot-only"] > avg["cold-only"]

@@ -1,0 +1,24 @@
+"""Fig. 11: the PIUMA (4 MTPs + 2 STPs, fp64) comparison.
+
+Paper claim: HotTiles averages 9.2x / 1.4x / 1.4x / 1.4x over HotOnly /
+ColdOnly / IUnaware / BestHomogeneous; on the dense ``myc`` matrix the
+hot workers win by less than on SPADE-Sextans because PIUMA's hot/cold
+throughput ratio is smaller.
+"""
+
+from repro.experiments.figures import figure11
+
+
+def test_fig11_piuma(run_experiment):
+    result = run_experiment(figure11)
+    assert result.arch_name == "piuma"
+    avg = result.avg_speedup_vs
+    assert avg["hot-only"] > 2.0
+    assert avg["cold-only"] > 1.1
+    assert avg["iunaware"] > 1.1
+    assert avg["best-hom"] > 1.0
+    # myc: HotOnly beats ColdOnly, but by a smaller factor than on
+    # SPADE-Sextans (Sec. VIII-A).
+    by_matrix = {r[0]: r for r in result.runtimes_ms}
+    myc = by_matrix["myc"]
+    assert myc[1] < myc[2]  # HotOnly < ColdOnly

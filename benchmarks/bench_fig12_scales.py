@@ -1,0 +1,32 @@
+"""Fig. 12: the four heuristics across SPADE-Sextans system scales.
+
+Paper claims: (1) bandwidth utilization grows with scale and saturates;
+(2) at large, bandwidth-saturated scales the Serial heuristics beat the
+Parallel ones; (3) within the Parallel family, MinTime wins at small
+scales and MinByte at large scales; (4) HotTiles' per-matrix selection is
+competitive with the best individual heuristic at every scale.
+"""
+
+from repro.experiments.figures import figure12
+
+
+def test_fig12_heuristics_across_scales(run_experiment):
+    result = run_experiment(figure12)
+    by = {(scale, strat): s for scale, strat, s in result.rows}
+
+    # (1) Bandwidth utilization rises with scale.
+    bw = result.bandwidth_gbs
+    assert bw[1] < bw[2] < bw[4]
+    assert bw[8] < 205.0
+
+    # (2) Serial overtakes Parallel at the largest scale.
+    assert by[(8, "min-time-serial")] > by[(8, "min-time-parallel")]
+
+    # (3) MinTime Parallel wins at scale 1; MinByte Parallel at scale 8.
+    assert by[(1, "min-time-parallel")] >= by[(1, "min-byte-parallel")]
+    assert by[(8, "min-byte-parallel")] >= by[(8, "min-time-parallel")]
+
+    # (4) HotTiles stays within 10% of the best heuristic everywhere.
+    for scale in (1, 2, 4, 8):
+        best = max(v for (s, k), v in by.items() if s == scale and k != "hottiles")
+        assert by[(scale, "hottiles")] >= 0.9 * best

@@ -1,0 +1,28 @@
+"""Fig. 14: gSpMM arithmetic-intensity sweep on SPADE-Sextans+PCIe.
+
+Paper claims: at low arithmetic intensity most nonzeros stay on the cold
+workers (the PCIe link starves the hot worker) and the speedup over
+HotOnly is large; as intensity grows, nonzeros migrate to the enhanced
+off-chip Sextans and the speedup over ColdOnly grows instead.  Averages:
+11.9x over HotOnly, 3.7x over ColdOnly.
+"""
+
+from repro.experiments.figures import figure14
+
+
+def test_fig14_arithmetic_intensity_sweep(run_experiment):
+    result = run_experiment(figure14)
+    ops = [r[0] for r in result.rows]
+    vs_hot = [r[1] for r in result.rows]
+    vs_cold = [r[2] for r in result.rows]
+    hot_pct = [r[3] for r in result.rows]
+    assert ops == [1, 2, 4, 8, 16, 32]
+    # Nonzeros migrate to the hot worker as intensity grows.
+    assert hot_pct[-1] > hot_pct[0]
+    # The speedup over ColdOnly grows with intensity ...
+    assert vs_cold[-1] > vs_cold[0]
+    # ... while the edge over (PCIe-starved) HotOnly is largest at low AI.
+    assert vs_hot[0] > vs_hot[-1]
+    # HotTiles never loses to either baseline on average.
+    assert min(vs_hot) > 0.95
+    assert min(vs_cold) > 0.95

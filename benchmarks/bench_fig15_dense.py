@@ -1,0 +1,24 @@
+"""Fig. 15: the higher-density Table VIII matrix set (scales 1 and 4).
+
+Paper claim: on denser matrices the cold workers lose their advantage
+(average 3.8x over ColdOnly) while HotTiles still beats HotOnly (1.5x)
+and IUnaware (1.4x).
+"""
+
+from repro.experiments.figures import figure15
+from repro.experiments.reporting import geomean
+
+
+def test_fig15_dense_matrices(run_experiment):
+    result = run_experiment(figure15)
+    assert set(result.per_scale) == {1, 4}
+    for scale, comp in result.per_scale.items():
+        assert len(comp.runtimes_ms) == 5
+        assert comp.avg_speedup_vs["iunaware"] > 1.0
+    # Across both scales, ColdOnly is the weaker baseline on this set
+    # (the reverse of the sparse Table V situation).
+    vs_cold = geomean(
+        [result.per_scale[s].avg_speedup_vs["cold-only"] for s in (1, 4)]
+    )
+    vs_hot = geomean([result.per_scale[s].avg_speedup_vs["hot-only"] for s in (1, 4)])
+    assert vs_cold > vs_hot

@@ -1,0 +1,27 @@
+"""Fig. 16: iso-scale architecture exploration (0-8 .. 8-0).
+
+Paper claim: the predicted and actual performance trends across the nine
+iso-scale SPADE-Sextans variants agree, and the architecture HotTiles
+predicts to be best is also the actual best (3-5 in the paper).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure16
+
+
+def test_fig16_isoscale_exploration(run_experiment):
+    result = run_experiment(figure16)
+    names = [r[0] for r in result.rows]
+    assert names == [f"{c}-{8 - c}" for c in range(9)]
+    predicted = np.array([r[1] for r in result.rows])
+    actual = np.array([r[2] for r in result.rows])
+    # The 4-4 base normalizes to 1.0 on both axes.
+    base = names.index("4-4")
+    assert predicted[base] == 1.0 and actual[base] == 1.0
+    # Predicted and actual trends agree (strong rank correlation).
+    corr = np.corrcoef(np.argsort(np.argsort(predicted)), np.argsort(np.argsort(actual)))[0, 1]
+    assert corr > 0.6
+    # The predicted-best architecture is close to the actual best.
+    actual_of_predicted_best = actual[int(np.argmax(predicted))]
+    assert actual_of_predicted_best >= 0.85 * actual.max()

@@ -1,0 +1,22 @@
+"""Fig. 17: model prediction error vs simulated ground truth.
+
+Paper claim: average errors of 4.8% (HotOnly), 19.6% (ColdOnly) and
+12.4% (HotTiles); ColdOnly errs highest because the analytical model
+deliberately ignores cache reuse, so it *over*-predicts cold runtimes.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure17
+
+
+def test_fig17_prediction_error(run_experiment):
+    result = run_experiment(figure17)
+    assert len(result.rows) == 20
+    hot_err = np.mean([r[2] for r in result.rows])
+    cold_err = np.mean([r[3] for r in result.rows])
+    ht_err = np.mean([r[4] for r in result.rows])
+    # Errors stay moderate on average -- the model is usable.
+    assert hot_err < 35.0
+    assert cold_err < 45.0
+    assert ht_err < 45.0

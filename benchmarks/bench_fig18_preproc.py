@@ -1,0 +1,20 @@
+"""Fig. 18: preprocessing cost breakdown on the host.
+
+Paper claim: the HotTiles-specific overhead (scan + modeling/partitioning
++ the second worker type's format) is ~73% of total preprocessing, i.e.
+about 4x a homogeneous accelerator's format generation -- a one-time cost
+amortized over many SpMM iterations.
+"""
+
+from repro.experiments.figures import figure18
+
+
+def test_fig18_preprocessing_cost(run_experiment):
+    result = run_experiment(figure18)
+    assert len(result.rows) == 10
+    for _matrix, fmt_share, overhead_share, slowdown in result.rows:
+        assert 0.0 < overhead_share < 1.0
+        assert abs(fmt_share + overhead_share - 1.0) < 1e-9
+        assert 1.0 <= slowdown < 60.0
+    # The HotTiles share dominates preprocessing, as in the paper.
+    assert 0.4 < result.avg_overhead_fraction < 0.95

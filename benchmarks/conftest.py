@@ -1,0 +1,25 @@
+"""Shared fixture for the figure-regeneration benchmarks.
+
+Each benchmark runs its experiment exactly once (the experiments are
+minutes-scale pipelines, not microbenchmarks), prints the same rows/series
+the paper reports, and asserts the headline shape so a silent regression
+fails the bench run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_experiment(benchmark):
+    """Run an experiment function once under pytest-benchmark, print the
+    rendered rows/series, and return the structured result."""
+
+    def run(fn, **kwargs):
+        result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+        print()
+        print(result.render())
+        return result
+
+    return run

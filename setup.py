@@ -1,0 +1,11 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` for a
+PEP-660 editable install; this offline environment lacks ``wheel``, so the
+legacy ``setup.py develop`` path (``--no-use-pep517``) is kept working.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""HotTiles reproduction: IMH-aware SpMM for heterogeneous accelerators.
+
+Reproduction of Gerogiannis et al., "HotTiles: Accelerating SpMM with
+Heterogeneous Accelerator Architectures" (HPCA 2024).
+
+Quickstart::
+
+    from repro import SparseMatrix, TiledMatrix, spade_sextans, HotTilesPartitioner
+    from repro.sparse import generators
+
+    matrix = generators.rmat(scale=14, nnz=200_000, seed=7)
+    arch = spade_sextans(system_scale=4)
+    tiled = TiledMatrix(matrix, arch.tile_height, arch.tile_width)
+    result = HotTilesPartitioner(arch).partition(tiled)
+    print(result.chosen.label, result.chosen.hot_nnz_fraction(tiled))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from repro.sparse import SparseMatrix, TiledMatrix
+from repro.core import (
+    AnalyticalModel,
+    HotTilesPartitioner,
+    ProblemSpec,
+    WorkerTraits,
+)
+from repro.core.partition import ExecutionMode, Heuristic, HotTilesResult, PartitionResult
+from repro.arch import (
+    Architecture,
+    WorkerGroup,
+    piuma,
+    spade_sextans,
+    spade_sextans_iso_scale,
+    spade_sextans_pcie,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SparseMatrix",
+    "TiledMatrix",
+    "AnalyticalModel",
+    "HotTilesPartitioner",
+    "HotTilesResult",
+    "PartitionResult",
+    "Heuristic",
+    "ExecutionMode",
+    "ProblemSpec",
+    "WorkerTraits",
+    "Architecture",
+    "WorkerGroup",
+    "spade_sextans",
+    "spade_sextans_iso_scale",
+    "spade_sextans_pcie",
+    "piuma",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Heterogeneous accelerator architecture descriptions (paper Sec. VI)."""
+
+from repro.arch.heterogeneous import Architecture, WorkerGroup
+from repro.arch.configs import (
+    spade_sextans,
+    spade_sextans_iso_scale,
+    spade_sextans_pcie,
+    piuma,
+    ARCHITECTURE_FACTORIES,
+)
+from repro.arch.overhead import merger_overhead_estimate, MergerOverhead
+
+__all__ = [
+    "Architecture",
+    "WorkerGroup",
+    "spade_sextans",
+    "spade_sextans_iso_scale",
+    "spade_sextans_pcie",
+    "piuma",
+    "ARCHITECTURE_FACTORIES",
+    "merger_overhead_estimate",
+    "MergerOverhead",
+]

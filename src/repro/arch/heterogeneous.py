@@ -1,0 +1,134 @@
+"""The heterogeneous architecture abstraction.
+
+An :class:`Architecture` is what the HotTiles framework is configured with
+(Sec. VI-B): one hot and one cold worker group, the shared main-memory
+bandwidth, the optional PCIe link in front of the hot group, whether the
+memory system supports race-free read-modify-write (atomics), and the tile
+geometry derived from the scratchpad capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.core.problem import ProblemSpec
+from repro.core.traits import WorkerKind, WorkerTraits
+
+__all__ = ["WorkerGroup", "Architecture"]
+
+
+@dataclass(frozen=True)
+class WorkerGroup:
+    """``count`` identical workers of one type."""
+
+    traits: WorkerTraits
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("worker count must be non-negative")
+
+    @property
+    def peak_mem_rate_bytes_per_sec(self) -> float:
+        """Aggregate maximum memory draw of the group (simulator)."""
+        return self.count * self.traits.mem_rate_bytes_per_sec()
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A two-worker-type heterogeneous SpMM accelerator.
+
+    Parameters
+    ----------
+    hot, cold:
+        The worker groups (either may have ``count == 0`` for the skewed
+        iso-scale architectures of Sec. VIII-B).
+    mem_bw_gbs:
+        Shared main-memory bandwidth in GB/s (a contended resource).
+    atomic_updates:
+        True when the memory system performs race-free read-modify-write
+        (PIUMA's Atomic engine): no private output buffers, ``t_merge = 0``
+        and only the Parallel heuristics apply (Sec. V-B).
+    pcie_bw_gbs:
+        When set, all hot-group traffic additionally flows through a PCIe
+        link of this bandwidth (the SPADE-Sextans+PCIe architecture).
+    problem:
+        Data sizes and kernel spec the architecture operates on.
+    tile_height, tile_width:
+        Sparse-tile geometry; set to the largest size that does not
+        overflow any worker scratchpad (Sec. IV).
+    """
+
+    name: str
+    hot: WorkerGroup
+    cold: WorkerGroup
+    mem_bw_gbs: float
+    problem: ProblemSpec
+    tile_height: int
+    tile_width: int
+    atomic_updates: bool = False
+    pcie_bw_gbs: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mem_bw_gbs <= 0:
+            raise ValueError("memory bandwidth must be positive")
+        if self.pcie_bw_gbs is not None and self.pcie_bw_gbs <= 0:
+            raise ValueError("PCIe bandwidth must be positive")
+        if self.tile_height <= 0 or self.tile_width <= 0:
+            raise ValueError("tile dimensions must be positive")
+        if self.hot.count == 0 and self.cold.count == 0:
+            raise ValueError("architecture needs at least one worker")
+        if self.hot.traits.kind is not WorkerKind.HOT:
+            raise ValueError("hot group must hold HOT workers")
+        if self.cold.traits.kind is not WorkerKind.COLD:
+            raise ValueError("cold group must hold COLD workers")
+
+    # ------------------------------------------------------------------
+    @property
+    def mem_bw_bytes_per_sec(self) -> float:
+        return self.mem_bw_gbs * 1e9
+
+    @property
+    def pcie_bw_bytes_per_sec(self) -> Optional[float]:
+        return None if self.pcie_bw_gbs is None else self.pcie_bw_gbs * 1e9
+
+    def group(self, kind: WorkerKind) -> WorkerGroup:
+        """The worker group of the requested kind."""
+        return self.hot if kind is WorkerKind.HOT else self.cold
+
+    def tile_shape(self) -> Tuple[int, int]:
+        return (self.tile_height, self.tile_width)
+
+    def merge_time_s(self, n_rows: int) -> float:
+        """Merger cost for combining the two private output buffers.
+
+        Following the paper's assumption (Sec. V-A), the cost depends only
+        on the *Dout* footprint and the system bandwidth, not on what was
+        written: the Merger reads both buffers and writes the final one,
+        i.e. three passes over ``n_rows`` dense rows.
+        """
+        if self.atomic_updates:
+            return 0.0
+        footprint = n_rows * self.problem.dense_row_bytes
+        return 3.0 * footprint / self.mem_bw_bytes_per_sec
+
+    def with_calibrated(self, hot: WorkerTraits, cold: WorkerTraits) -> "Architecture":
+        """Copy with (re-)calibrated worker traits (same counts)."""
+        return replace(
+            self,
+            hot=WorkerGroup(hot, self.hot.count),
+            cold=WorkerGroup(cold, self.cold.count),
+        )
+
+    def with_problem(self, problem: ProblemSpec) -> "Architecture":
+        """Copy operating on a different problem spec (e.g. gSpMM sweep)."""
+        return replace(self, problem=problem)
+
+    def __str__(self) -> str:
+        pcie = f", pcie={self.pcie_bw_gbs}GB/s" if self.pcie_bw_gbs else ""
+        return (
+            f"{self.name}: {self.cold.count}x{self.cold.traits.name} (cold) + "
+            f"{self.hot.count}x{self.hot.traits.name} (hot), "
+            f"bw={self.mem_bw_gbs}GB/s{pcie}, tile={self.tile_height}x{self.tile_width}"
+        )

@@ -1,0 +1,82 @@
+"""Merger-module area and power estimate (paper Sec. VII-C).
+
+The only hardware HotTiles adds to SPADE-Sextans is the Merger module (a
+SIMD ADD unit plus registers) that combines the two private output buffers
+after a parallel run.  The paper estimates its area/power with CACTI (for
+the registers) and Galal-Horowitz FPU numbers (for the SIMD arithmetic),
+scaled to 10 nm, and reports it at "less than 20% of the area and power of
+a single SPADE PE".
+
+We have no CACTI binary offline, so this module performs the same
+constant-based bookkeeping: per-lane fp32 adder area/energy from the
+Galal-Horowitz survey, register-file area/power per kB from published
+CACTI fits, and the Stillmaker-Baas scaling factors from 45 nm to 10 nm.
+The point of the module is to make the overhead claim reproducible and
+testable, not to re-derive silicon numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MergerOverhead", "merger_overhead_estimate"]
+
+# Galal & Horowitz (IEEE TC'11): fp32 add ~ 0.003 mm^2 and ~ 0.9 pJ/op at
+# 45 nm.  Stillmaker & Baas (Integration'17) scaling 45 nm -> 10 nm: area
+# ~ x0.06, energy ~ x0.21.
+_FP32_ADD_AREA_MM2_45NM = 0.003
+_FP32_ADD_ENERGY_PJ_45NM = 0.9
+_AREA_SCALE_45_TO_10 = 0.06
+_ENERGY_SCALE_45_TO_10 = 0.21
+
+# CACTI-flavoured register/SRAM fit at 10 nm: ~ 0.008 mm^2 and ~ 4 mW per kB
+# of heavily-ported register storage.
+_REG_AREA_MM2_PER_KB = 0.008
+_REG_POWER_MW_PER_KB = 4.0
+
+# A SPADE PE (pipeline + 32 kB L1 + BBF) lands around 0.25 mm^2 / 120 mW at
+# 10 nm in the SPADE paper's accounting; used as the comparison base.
+_SPADE_PE_AREA_MM2 = 0.25
+_SPADE_PE_POWER_MW = 120.0
+
+
+@dataclass(frozen=True)
+class MergerOverhead:
+    """Estimated Merger cost and its ratio to one SPADE PE."""
+
+    area_mm2: float
+    power_mw: float
+    area_ratio_vs_spade_pe: float
+    power_ratio_vs_spade_pe: float
+
+
+def merger_overhead_estimate(
+    simd_lanes: int = 16, register_kb: float = 2.0, frequency_ghz: float = 0.8
+) -> MergerOverhead:
+    """Estimate the Merger module's area and power at 10 nm.
+
+    Parameters
+    ----------
+    simd_lanes:
+        fp32 adder lanes of the SIMD ADD module.
+    register_kb:
+        Buffering registers in kB.
+    frequency_ghz:
+        Operating frequency (converts adder energy/op to power assuming
+        every lane fires each cycle -- a worst-case power estimate).
+    """
+    if simd_lanes <= 0 or register_kb < 0 or frequency_ghz <= 0:
+        raise ValueError("merger parameters must be positive")
+    add_area = simd_lanes * _FP32_ADD_AREA_MM2_45NM * _AREA_SCALE_45_TO_10
+    add_energy_pj = _FP32_ADD_ENERGY_PJ_45NM * _ENERGY_SCALE_45_TO_10
+    add_power_mw = simd_lanes * add_energy_pj * frequency_ghz  # pJ * GHz = mW
+    reg_area = register_kb * _REG_AREA_MM2_PER_KB
+    reg_power = register_kb * _REG_POWER_MW_PER_KB
+    area = add_area + reg_area
+    power = add_power_mw + reg_power
+    return MergerOverhead(
+        area_mm2=area,
+        power_mw=power,
+        area_ratio_vs_spade_pe=area / _SPADE_PE_AREA_MM2,
+        power_ratio_vs_spade_pe=power / _SPADE_PE_POWER_MW,
+    )

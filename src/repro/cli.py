@@ -1,0 +1,277 @@
+"""Command-line entry point.
+
+Two modes:
+
+*Experiments* -- regenerate any paper table or figure::
+
+    hottiles list
+    hottiles fig10 [--subset ski pap ...] [--seed N] [--csv out.csv]
+    hottiles all
+
+*Partitioning* -- run the HotTiles preprocessing pipeline on a
+MatrixMarket file, exactly what the paper's host-side framework does
+(Sec. VI-B)::
+
+    hottiles partition matrix.mtx --arch spade-sextans --scale 4 \\
+        [--save-dir out/] [--verify]
+
+(or ``python -m repro.cli ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments import figures
+from repro.experiments.export import result_to_csv
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig04": figures.figure04,
+    "fig05": figures.figure05,
+    "fig10": figures.figure10_table06,
+    "table06": figures.figure10_table06,
+    "fig11": figures.figure11,
+    "fig12": figures.figure12,
+    "table07": figures.table07,
+    "fig13": figures.figure13,
+    "fig14": figures.figure14,
+    "fig15": figures.figure15,
+    "fig16": figures.figure16,
+    "table09": figures.table09,
+    "fig17": figures.figure17,
+    "fig18": figures.figure18,
+}
+
+#: Experiments whose signature takes no seed (deterministic pipelines).
+_NO_SEED = {"fig18"}
+#: Experiments taking a single matrix name instead of a subset.
+_SINGLE_MATRIX = {"fig05"}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "partition":
+        return _partition_command(argv[1:])
+    if argv and argv[0] == "sweep":
+        return _sweep_command(argv[1:])
+    return _experiment_command(argv)
+
+
+# ----------------------------------------------------------------------
+def _experiment_command(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hottiles", description="HotTiles (HPCA 2024) reproduction experiments"
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'hottiles list'), 'list', 'all', or 'partition'",
+    )
+    parser.add_argument(
+        "--subset",
+        nargs="*",
+        default=None,
+        help="benchmark short names to restrict to (default: the full set)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="IUnaware placement seed")
+    parser.add_argument("--csv", default=None, help="also export the rows as CSV")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        print("partition  run the preprocessing pipeline on a MatrixMarket file")
+        print("sweep      bandwidth / K / cold-worker-count sensitivity sweeps")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        fn = EXPERIMENTS[name]
+        kwargs = {}
+        if name in _SINGLE_MATRIX:
+            if args.subset:
+                kwargs["short"] = args.subset[0]
+            kwargs["seed"] = args.seed
+        else:
+            if args.subset is not None:
+                kwargs["subset"] = args.subset
+            if name not in _NO_SEED:
+                kwargs["seed"] = args.seed
+        start = time.perf_counter()
+        result = fn(**kwargs)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        if args.csv and len(names) == 1:
+            result_to_csv(result, args.csv)
+            print(f"rows exported to {args.csv}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _sweep_command(argv: List[str]) -> int:
+    from repro.arch.configs import spade_sextans
+    from repro.experiments.matrices import ALL_MATRICES, load_matrix
+    from repro.experiments.sweeps import bandwidth_sweep, cold_count_sweep, k_sweep
+    from repro.sparse.mmio import read_matrix_market
+
+    parser = argparse.ArgumentParser(
+        prog="hottiles sweep",
+        description="Machine-parameter sensitivity sweeps around SPADE-Sextans",
+    )
+    parser.add_argument(
+        "matrix",
+        help="benchmark short name (e.g. pap) or path to a MatrixMarket file",
+    )
+    parser.add_argument(
+        "--kind",
+        choices=("bandwidth", "k", "cold-count"),
+        default="bandwidth",
+        help="which machine parameter to sweep",
+    )
+    parser.add_argument(
+        "--points",
+        nargs="+",
+        type=float,
+        default=None,
+        help="sweep points (bandwidth factors, K values, or worker counts)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=4, help="SPADE-Sextans system scale"
+    )
+    args = parser.parse_args(argv)
+
+    matrix = (
+        load_matrix(args.matrix)
+        if args.matrix in ALL_MATRICES
+        else read_matrix_market(args.matrix)
+    )
+    arch = spade_sextans(args.scale)
+    if args.kind == "bandwidth":
+        points = args.points or [0.25, 0.5, 1.0, 2.0, 4.0]
+        result = bandwidth_sweep(arch, matrix, points)
+    elif args.kind == "k":
+        points = [int(v) for v in (args.points or [8, 16, 32, 64])]
+        result = k_sweep(arch, matrix, points)
+    else:
+        points = [int(v) for v in (args.points or [4, 8, 16, 32])]
+        result = cold_count_sweep(arch, matrix, points)
+    print(result.render())
+    winners = ", ".join(
+        f"{row[0]:g}: {name}"
+        for row, name in zip(result.rows, result.best_strategy_per_point())
+    )
+    print(f"best strategy per point -- {winners}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _partition_command(argv: List[str]) -> int:
+    from repro.arch.configs import ARCHITECTURE_FACTORIES
+    from repro.pipeline.preprocess import HotTilesPreprocessor
+    from repro.sparse.mmio import read_matrix_market
+
+    parser = argparse.ArgumentParser(
+        prog="hottiles partition",
+        description="Partition a MatrixMarket matrix for a heterogeneous accelerator",
+    )
+    parser.add_argument("matrix", help="path to a MatrixMarket .mtx file")
+    parser.add_argument(
+        "--arch",
+        default="spade-sextans",
+        choices=sorted(ARCHITECTURE_FACTORIES),
+        help="target architecture",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=4, help="system scale (SPADE-Sextans variants)"
+    )
+    parser.add_argument(
+        "--save-dir", default=None, help="write the hot/cold formats as .npz files"
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="execute both formats on a random dense input and check the merge",
+    )
+    args = parser.parse_args(argv)
+
+    factory = ARCHITECTURE_FACTORIES[args.arch]
+    arch = factory() if args.arch == "piuma" else factory(args.scale)
+    matrix = read_matrix_market(args.matrix)
+    print(f"matrix: {matrix}")
+    print(f"architecture: {arch}")
+
+    start = time.perf_counter()
+    result = HotTilesPreprocessor(arch).run(matrix)
+    elapsed = time.perf_counter() - start
+    chosen = result.partition.chosen
+    tiled = result.tiled
+    print(
+        f"\npartitioned {tiled.n_tiles} non-empty tiles in {elapsed * 1e3:.1f} ms: "
+        f"heuristic '{chosen.label}' ({chosen.mode.value} execution)"
+    )
+    print(
+        f"hot: {int(chosen.assignment.sum())} tiles / "
+        f"{chosen.hot_nnz_fraction(tiled):.1%} of nonzeros; "
+        f"predicted runtime {chosen.predicted_time_s * 1e3:.3f} ms"
+    )
+    cost = result.cost
+    print(
+        f"preprocessing: scan {cost.scan_s * 1e3:.1f} ms, "
+        f"partition {cost.partition_s * 1e3:.1f} ms, "
+        f"formats {cost.format_generation_s * 1e3:.1f} ms "
+        f"(HotTiles overhead share {cost.overhead_fraction:.0%})"
+    )
+
+    if args.verify:
+        rng = np.random.default_rng(0)
+        din = rng.standard_normal((matrix.n_cols, arch.problem.k)).astype(np.float32)
+        err = float(np.max(np.abs(result.verify_spmm(din) - matrix.spmm(din))))
+        print(f"verification: max |merged - reference| = {err:.3e}")
+        if not np.isfinite(err) or err > 1e-2:
+            print("verification FAILED", file=sys.stderr)
+            return 1
+
+    if args.save_dir:
+        out = Path(args.save_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        saved = _save_formats(result, out)
+        print(f"formats written: {', '.join(saved)}")
+    return 0
+
+
+def _save_formats(result, out: Path) -> List[str]:
+    from repro.pipeline.serialize import save_assignment, save_format
+
+    saved = []
+    for side, fmt in (("hot", result.hot_format), ("cold", result.cold_format)):
+        if fmt is None:
+            continue
+        path = out / f"{side}_{type(fmt).__name__.lower()}.npz"
+        save_format(fmt, path)
+        saved.append(str(path))
+    chosen = result.partition.chosen
+    assignment_path = out / "assignment.npz"
+    save_assignment(
+        chosen.assignment, assignment_path, label=chosen.label, mode=chosen.mode.value
+    )
+    saved.append(str(assignment_path))
+    return saved
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""HotTiles core: IMH-aware performance modeling and partitioning.
+
+This package implements the paper's primary contribution:
+
+- :mod:`repro.core.traits` -- worker (PE) trait descriptions (Table III),
+- :mod:`repro.core.reuse` -- the Table I traffic formulas,
+- :mod:`repro.core.problem` -- SpMM / gSpMM / SpMV / SDDMM problem specs,
+- :mod:`repro.core.model` -- the per-tile analytical model (Sec. IV),
+- :mod:`repro.core.roofline` -- the whole-matrix roofline used by IUnaware,
+- :mod:`repro.core.partition` -- the four heuristics and HotTiles selection
+  (Sec. V, Fig. 8),
+- :mod:`repro.core.baselines` -- IUnaware / HotOnly / ColdOnly baselines,
+- :mod:`repro.core.calibration` -- data-driven ``vis_lat`` fitting
+  (Sec. VI-B),
+- :mod:`repro.core.tilesize` -- free-dimension tile-size search (Sec. IV).
+"""
+
+from repro.core.traits import (
+    ReuseType,
+    SparseFormat,
+    Task,
+    Traversal,
+    WorkerKind,
+    WorkerTraits,
+    OVERLAP_FULL,
+    OVERLAP_NONE,
+)
+from repro.core.problem import ProblemSpec
+from repro.core.model import AnalyticalModel, TileCosts
+from repro.core.partition import (
+    Heuristic,
+    PartitionResult,
+    HotTilesPartitioner,
+    first_of_type_masks,
+)
+from repro.core.baselines import (
+    hot_only_assignment,
+    cold_only_assignment,
+    iunaware_assignment,
+)
+from repro.core.calibration import calibrate_vis_lat
+
+__all__ = [
+    "ReuseType",
+    "SparseFormat",
+    "Task",
+    "Traversal",
+    "WorkerKind",
+    "WorkerTraits",
+    "OVERLAP_FULL",
+    "OVERLAP_NONE",
+    "ProblemSpec",
+    "AnalyticalModel",
+    "TileCosts",
+    "Heuristic",
+    "PartitionResult",
+    "HotTilesPartitioner",
+    "first_of_type_masks",
+    "hot_only_assignment",
+    "cold_only_assignment",
+    "iunaware_assignment",
+    "calibrate_vis_lat",
+]

@@ -1,0 +1,90 @@
+"""Execution baselines: HotOnly, ColdOnly and IUnaware (paper Sec. III-B).
+
+*HotOnly* / *ColdOnly* assign every tile to one worker type.  *IUnaware*
+is the IMH-unaware heterogeneous strategy modeled on AESPA: it predicts
+whole-matrix runtimes with the holistic roofline (uniform-nonzero
+assumption), derives the hot tile fraction with the collaborative-execution
+split of Huang et al.,
+
+    frac_tile_hot = Ex_cw / (Ex_cw + Ex_hw)          (Eq. 1)
+
+where ``Ex_hw = th / N_hw`` and ``Ex_cw = tc / N_cw``, and then assigns
+that fraction of tiles to hot workers *uniformly at random*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.heterogeneous import Architecture
+from repro.core.roofline import roofline_estimate
+from repro.sparse.tiling import TiledMatrix
+
+__all__ = [
+    "hot_only_assignment",
+    "cold_only_assignment",
+    "IUnawareDecision",
+    "iunaware_assignment",
+]
+
+
+def hot_only_assignment(n_tiles: int) -> np.ndarray:
+    """Every tile on the hot workers."""
+    return np.ones(n_tiles, dtype=bool)
+
+
+def cold_only_assignment(n_tiles: int) -> np.ndarray:
+    """Every tile on the cold workers."""
+    return np.zeros(n_tiles, dtype=bool)
+
+
+@dataclass(frozen=True)
+class IUnawareDecision:
+    """The IUnaware split plus the roofline inputs that produced it."""
+
+    assignment: np.ndarray  #: per-tile, True = hot worker
+    frac_tile_hot: float  #: Eq. 1 fraction
+    th_single_worker_s: float  #: roofline whole-matrix time, one hot worker
+    tc_single_worker_s: float  #: roofline whole-matrix time, one cold worker
+
+
+def iunaware_assignment(
+    tiled: TiledMatrix, arch: Architecture, seed: int = 0
+) -> IUnawareDecision:
+    """Partition tiles with the IMH-unaware strategy (random placement).
+
+    The random tile placement is seeded for reproducibility; the paper's
+    only constraint is that the assigned fraction satisfies Eq. 1.
+    """
+    n = tiled.n_tiles
+    # Paper Sec. III-B: "the memory access time is the number of memory
+    # bytes accessed divided by the memory bandwidth" -- the system
+    # bandwidth, for both worker types.  A PCIe link in front of the hot
+    # workers caps their achievable bandwidth below that.
+    bw = arch.mem_bw_bytes_per_sec
+    hot_bw = bw
+    if arch.pcie_bw_bytes_per_sec is not None:
+        hot_bw = min(hot_bw, arch.pcie_bw_bytes_per_sec)
+    th = roofline_estimate(tiled.matrix, arch.hot.traits, arch.problem, hot_bw).time_s
+    tc = roofline_estimate(tiled.matrix, arch.cold.traits, arch.problem, bw).time_s
+    if arch.hot.count == 0:
+        frac = 0.0
+    elif arch.cold.count == 0:
+        frac = 1.0
+    else:
+        ex_hw = th / arch.hot.count
+        ex_cw = tc / arch.cold.count
+        frac = ex_cw / (ex_cw + ex_hw) if (ex_cw + ex_hw) > 0 else 0.0
+    n_hot = int(round(frac * n))
+    assignment = np.zeros(n, dtype=bool)
+    if n_hot > 0:
+        rng = np.random.default_rng(seed)
+        assignment[rng.choice(n, size=min(n_hot, n), replace=False)] = True
+    return IUnawareDecision(
+        assignment=assignment,
+        frac_tile_hot=frac,
+        th_single_worker_s=th,
+        tc_single_worker_s=tc,
+    )

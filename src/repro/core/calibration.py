@@ -1,0 +1,127 @@
+"""Data-driven calibration of the visible latency per byte (Sec. VI-B).
+
+``vis_lat`` captures how much memory latency a worker type fails to hide.
+The paper determines it empirically: a few profiling runs execute small
+test matrices homogeneously on one worker type, and a search picks the
+``vis_lat`` minimizing the error between the model's predicted runtimes
+and the measured ones.  Calibration is a one-time cost per machine; the
+value is reused across matrices.
+
+In this reproduction the "real" runtimes come from the simulator
+(:mod:`repro.sim`), exactly as the paper's come from SST/Sniper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, Tuple
+
+from repro.arch.heterogeneous import Architecture
+from repro.core.traits import WorkerKind
+from repro.sparse.tiling import TiledMatrix
+
+__all__ = ["calibration_error", "calibrate_vis_lat", "calibrate_architecture"]
+
+#: Search window for vis_lat, in seconds per byte.  1e-13 s/B corresponds
+#: to 10 TB/s of perfectly hidden bandwidth per worker, 1e-8 s/B to a fully
+#: exposed 100 MB/s; every realistic PE falls inside.
+_LOG10_LO, _LOG10_HI = -13.0, -8.0
+
+_GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def calibration_error(predicted: Sequence[float], measured: Sequence[float]) -> float:
+    """Mean squared log-error between predicted and measured runtimes."""
+    if len(predicted) != len(measured) or not predicted:
+        raise ValueError("need equally many predicted and measured runtimes")
+    total = 0.0
+    for p, m in zip(predicted, measured):
+        if p <= 0 or m <= 0:
+            raise ValueError("runtimes must be positive")
+        total += math.log(p / m) ** 2
+    return total / len(predicted)
+
+
+def calibrate_vis_lat(
+    arch: Architecture,
+    kind: WorkerKind,
+    profiling_runs: Sequence[Tuple[TiledMatrix, float]],
+    iterations: int = 60,
+) -> float:
+    """Fit one worker type's ``vis_lat`` against measured homogeneous runs.
+
+    Parameters
+    ----------
+    profiling_runs:
+        ``(tiled_matrix, measured_time_s)`` pairs from homogeneous
+        executions using only this worker type.
+    iterations:
+        Golden-section iterations over ``log10(vis_lat)``; the model's
+        predicted time is monotone in ``vis_lat`` so the squared-log error
+        is unimodal.
+
+    Returns the fitted ``vis_lat`` in seconds per byte.
+    """
+    if not profiling_runs:
+        raise ValueError("at least one profiling run is required")
+
+    # Import here to avoid a circular import (partition -> model -> traits).
+    from repro.core.partition import HotTilesPartitioner
+
+    def objective(log_v: float) -> float:
+        vis_lat = 10.0 ** log_v
+        group = arch.group(kind)
+        worker = group.traits.with_vis_lat(vis_lat)
+        if kind is WorkerKind.HOT:
+            candidate = arch.with_calibrated(worker, arch.cold.traits)
+        else:
+            candidate = arch.with_calibrated(arch.hot.traits, worker)
+        partitioner = HotTilesPartitioner(candidate)
+        predicted = [partitioner.predict_homogeneous(t, kind) for t, _ in profiling_runs]
+        return calibration_error(predicted, [m for _, m in profiling_runs])
+
+    return 10.0 ** _golden_section(objective, _LOG10_LO, _LOG10_HI, iterations)
+
+
+def calibrate_architecture(
+    arch: Architecture,
+    measure: Callable[[Architecture, TiledMatrix, WorkerKind], float],
+    profiling_matrices: Sequence[TiledMatrix],
+) -> Architecture:
+    """Calibrate both worker types of an architecture.
+
+    ``measure(arch, tiled, kind)`` must return the measured homogeneous
+    runtime; in the experiment harness it runs the simulator.  Returns a
+    copy of the architecture with both worker types' ``vis_lat`` fitted.
+    """
+    if not profiling_matrices:
+        raise ValueError("at least one profiling matrix is required")
+    traits = {}
+    for kind in (WorkerKind.HOT, WorkerKind.COLD):
+        group = arch.group(kind)
+        if group.count == 0:
+            traits[kind] = group.traits
+            continue
+        runs = [(t, measure(arch, t, kind)) for t in profiling_matrices]
+        traits[kind] = group.traits.with_vis_lat(calibrate_vis_lat(arch, kind, runs))
+    return arch.with_calibrated(traits[WorkerKind.HOT], traits[WorkerKind.COLD])
+
+
+def _golden_section(
+    objective: Callable[[float], float], lo: float, hi: float, iterations: int
+) -> float:
+    """Minimize a unimodal function over ``[lo, hi]``."""
+    a, b = lo, hi
+    c = b - _GOLDEN * (b - a)
+    d = a + _GOLDEN * (b - a)
+    fc, fd = objective(c), objective(d)
+    for _ in range(iterations):
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - _GOLDEN * (b - a)
+            fc = objective(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _GOLDEN * (b - a)
+            fd = objective(d)
+    return (a + b) / 2.0

@@ -1,0 +1,362 @@
+"""IMH-aware partitioning (paper Sec. V).
+
+Optimal hot/cold tile assignment needs an exhaustive search over
+``2**n_tiles`` combinations, so HotTiles decomposes the problem into four
+``N log N`` subproblems (Fig. 8):
+
+================  ========================================================
+Heuristic         Optimization subproblem objective
+================  ========================================================
+MinTime Parallel  minimize max(sum_hot th_i / N_hw, sum_cold tc_i / N_cw)
+MinTime Serial    minimize sum_hot th_i / N_hw + sum_cold tc_i / N_cw
+MinByte Parallel  minimize b_total
+MinByte Serial    minimize b_total
+================  ========================================================
+
+Each subproblem sorts the tiles (by increasing hot - cold execution-time
+difference for MinTime, hot - cold traffic difference for MinByte) and
+sweeps a *cutoff index* rightward from the start of the sorted array: every
+move turns one more tile hot, the objective is re-evaluated, and the sweep
+rolls back and stops at the first non-improving move.  The four candidate
+partitionings are then scored with the *final predicted runtime* formulas
+(Fig. 8, last column) -- which re-add the maximum-reuse first-tile charges,
+the shared-bandwidth term, and the merge cost -- and the best one wins.
+
+On architectures with race-free atomic updates (PIUMA) there are no output
+buffers, ``t_merge`` is zero, and only the Parallel heuristics are used.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.heterogeneous import Architecture
+from repro.core.model import AnalyticalModel, TileCosts
+from repro.core.traits import WorkerKind
+from repro.sparse.tiling import TiledMatrix
+
+__all__ = [
+    "Heuristic",
+    "ExecutionMode",
+    "PredictedTotals",
+    "PartitionResult",
+    "HotTilesResult",
+    "HotTilesPartitioner",
+    "first_of_type_masks",
+    "exhaustive_partition",
+]
+
+
+class Heuristic(enum.Enum):
+    """The four HotTiles heuristics (Table II)."""
+
+    MIN_TIME_PARALLEL = "min-time-parallel"
+    MIN_TIME_SERIAL = "min-time-serial"
+    MIN_BYTE_PARALLEL = "min-byte-parallel"
+    MIN_BYTE_SERIAL = "min-byte-serial"
+
+
+class ExecutionMode(enum.Enum):
+    """Whether the two worker types run concurrently or back-to-back."""
+
+    PARALLEL = "parallel"
+    SERIAL = "serial"
+
+
+_HEURISTIC_MODE = {
+    Heuristic.MIN_TIME_PARALLEL: ExecutionMode.PARALLEL,
+    Heuristic.MIN_TIME_SERIAL: ExecutionMode.SERIAL,
+    Heuristic.MIN_BYTE_PARALLEL: ExecutionMode.PARALLEL,
+    Heuristic.MIN_BYTE_SERIAL: ExecutionMode.SERIAL,
+}
+
+
+@dataclass(frozen=True)
+class PredictedTotals:
+    """Readjusted totals entering the final predicted-runtime formulas."""
+
+    th_total: float  #: hot-group time: sum of hot-tile times / N_hw
+    tc_total: float  #: cold-group time: sum of cold-tile times / N_cw
+    bh_total: float  #: bytes moved for hot tiles
+    bc_total: float  #: bytes moved for cold tiles
+    t_merge: float  #: output-buffer merge cost (0 when serial or atomic)
+
+    @property
+    def b_total(self) -> float:
+        return self.bh_total + self.bc_total
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """One candidate partitioning with its final predicted runtime."""
+
+    label: str
+    assignment: np.ndarray  #: per-tile, True = hot worker
+    mode: ExecutionMode
+    predicted_time_s: float
+    totals: PredictedTotals
+
+    @property
+    def hot_tile_count(self) -> int:
+        return int(self.assignment.sum())
+
+    def hot_nnz_fraction(self, tiled: TiledMatrix) -> float:
+        """Fraction of nonzeros assigned to hot workers (Fig. 5 / Fig. 14)."""
+        total = tiled.stats.nnz.sum()
+        if total == 0:
+            return 0.0
+        return float(tiled.stats.nnz[self.assignment].sum() / total)
+
+
+@dataclass(frozen=True)
+class HotTilesResult:
+    """The chosen partitioning plus every heuristic candidate."""
+
+    chosen: PartitionResult
+    candidates: Dict[Heuristic, PartitionResult]
+
+
+def first_of_type_masks(
+    tiled: TiledMatrix, assignment: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mark the first hot and first cold tile of each row panel.
+
+    Tiles in :class:`TiledMatrix` are sorted panel-major, so the first tile
+    of a type in a panel is that type's minimum tile index within the
+    panel.  These masks drive the Sec. IV-C readjustment of the
+    maximum-reuse assumption.
+    """
+    assignment = np.asarray(assignment, dtype=bool)
+    n = tiled.n_tiles
+    if assignment.shape != (n,):
+        raise ValueError(f"assignment must have shape ({n},)")
+    hot_first = np.zeros(n, dtype=bool)
+    cold_first = np.zeros(n, dtype=bool)
+    panels = tiled.stats.tile_row
+    for mask, out in ((assignment, hot_first), (~assignment, cold_first)):
+        idx = np.flatnonzero(mask)
+        if idx.size:
+            _, first = np.unique(panels[idx], return_index=True)
+            out[idx[first]] = True
+    return hot_first, cold_first
+
+
+class HotTilesPartitioner:
+    """Runs the HotTiles modeling + partitioning pipeline for one machine.
+
+    ``cache_aware`` enables the Sec. X model extension (see
+    :class:`~repro.core.model.AnalyticalModel`).
+    """
+
+    def __init__(self, arch: Architecture, cache_aware: bool = False) -> None:
+        self.arch = arch
+        self.model = AnalyticalModel(arch.problem, cache_aware=cache_aware)
+
+    # ------------------------------------------------------------------
+    def tile_costs(self, tiled: TiledMatrix) -> Tuple[TileCosts, TileCosts]:
+        """Maximum-reuse per-tile costs ``(hot, cold)`` (partitioning input)."""
+        hot = self.model.tile_costs(tiled, self.arch.hot.traits)
+        cold = self.model.tile_costs(tiled, self.arch.cold.traits)
+        return hot, cold
+
+    def partition(self, tiled: TiledMatrix) -> HotTilesResult:
+        """Run all applicable heuristics and keep the best candidate.
+
+        With zero workers of one type the partitioning degenerates to the
+        corresponding homogeneous assignment.
+        """
+        n = tiled.n_tiles
+        if self.arch.hot.count == 0 or self.arch.cold.count == 0:
+            all_hot = self.arch.cold.count == 0
+            assignment = np.full(n, all_hot, dtype=bool)
+            result = self._score(tiled, assignment, ExecutionMode.PARALLEL, "homogeneous")
+            return HotTilesResult(chosen=result, candidates={})
+
+        hot_costs, cold_costs = self.tile_costs(tiled)
+        heuristics = list(Heuristic)
+        if self.arch.atomic_updates:
+            # No output buffers to merge: serial operation can never win
+            # under the model (Sec. V-B), so only Parallel heuristics run.
+            heuristics = [Heuristic.MIN_TIME_PARALLEL, Heuristic.MIN_BYTE_PARALLEL]
+
+        candidates: Dict[Heuristic, PartitionResult] = {}
+        for heuristic in heuristics:
+            assignment = self._heuristic_assignment(heuristic, hot_costs, cold_costs)
+            candidates[heuristic] = self._score(
+                tiled, assignment, _HEURISTIC_MODE[heuristic], heuristic.value
+            )
+        chosen = min(candidates.values(), key=lambda r: r.predicted_time_s)
+        return HotTilesResult(chosen=chosen, candidates=candidates)
+
+    # ------------------------------------------------------------------
+    def _heuristic_assignment(
+        self, heuristic: Heuristic, hot_costs: TileCosts, cold_costs: TileCosts
+    ) -> np.ndarray:
+        n_hw, n_cw = self.arch.hot.count, self.arch.cold.count
+        if heuristic in (Heuristic.MIN_TIME_PARALLEL, Heuristic.MIN_TIME_SERIAL):
+            order = np.argsort(hot_costs.time_s - cold_costs.time_s, kind="stable")
+            prefix_hot = _prefix(hot_costs.time_s[order] / n_hw)
+            suffix_cold = _suffix(cold_costs.time_s[order] / n_cw)
+            if heuristic is Heuristic.MIN_TIME_PARALLEL:
+                objective = np.maximum(prefix_hot, suffix_cold)
+            else:
+                objective = prefix_hot + suffix_cold
+        else:
+            order = np.argsort(hot_costs.bytes - cold_costs.bytes, kind="stable")
+            objective = _prefix(hot_costs.bytes[order]) + _suffix(cold_costs.bytes[order])
+        cutoff = _cutoff_sweep(objective)
+        assignment = np.zeros(hot_costs.n_tiles, dtype=bool)
+        assignment[order[:cutoff]] = True
+        return assignment
+
+    def _score(
+        self,
+        tiled: TiledMatrix,
+        assignment: np.ndarray,
+        mode: ExecutionMode,
+        label: str,
+    ) -> PartitionResult:
+        time_s, totals = self.predicted_runtime(tiled, assignment, mode)
+        return PartitionResult(
+            label=label,
+            assignment=assignment,
+            mode=mode,
+            predicted_time_s=time_s,
+            totals=totals,
+        )
+
+    # ------------------------------------------------------------------
+    def predicted_runtime(
+        self,
+        tiled: TiledMatrix,
+        assignment: np.ndarray,
+        mode: ExecutionMode,
+    ) -> Tuple[float, PredictedTotals]:
+        """Final predicted runtime for an assignment (Fig. 8, last column).
+
+        Re-estimates tile costs with the first-tile-of-type readjustment,
+        then applies the parallel formula
+        ``max(max(th, tc), b_total / BW) + t_merge`` or the serial formula
+        ``max(th, bh / BW) + max(tc, bc / BW)``.  A PCIe link in front of
+        the hot group adds a ``bh / BW_pcie`` term to the hot side.
+        """
+        assignment = np.asarray(assignment, dtype=bool)
+        totals = self._totals(tiled, assignment, mode)
+        bw = self.arch.mem_bw_bytes_per_sec
+        pcie = self.arch.pcie_bw_bytes_per_sec
+        hot_pcie_time = totals.bh_total / pcie if pcie else 0.0
+        if mode is ExecutionMode.PARALLEL:
+            time_s = max(
+                max(totals.th_total, totals.tc_total),
+                totals.b_total / bw,
+                hot_pcie_time,
+            ) + totals.t_merge
+        else:
+            hot_side = max(totals.th_total, totals.bh_total / bw, hot_pcie_time)
+            cold_side = max(totals.tc_total, totals.bc_total / bw)
+            time_s = hot_side + cold_side
+        return time_s, totals
+
+    def predict_homogeneous(self, tiled: TiledMatrix, kind: WorkerKind) -> float:
+        """Predicted runtime of a homogeneous execution (Fig. 17 baselines)."""
+        assignment = np.full(tiled.n_tiles, kind is WorkerKind.HOT, dtype=bool)
+        time_s, _ = self.predicted_runtime(tiled, assignment, ExecutionMode.PARALLEL)
+        return time_s
+
+    def _totals(
+        self, tiled: TiledMatrix, assignment: np.ndarray, mode: ExecutionMode
+    ) -> PredictedTotals:
+        hot_first, cold_first = first_of_type_masks(tiled, assignment)
+        hot_adj = self.model.tile_costs(tiled, self.arch.hot.traits, first_mask=hot_first)
+        cold_adj = self.model.tile_costs(tiled, self.arch.cold.traits, first_mask=cold_first)
+        any_hot = bool(assignment.any())
+        any_cold = bool((~assignment).any())
+        th_total = hot_adj.total_time(assignment) / self.arch.hot.count if any_hot else 0.0
+        tc_total = cold_adj.total_time(~assignment) / self.arch.cold.count if any_cold else 0.0
+        bh_total = hot_adj.total_bytes(assignment) if any_hot else 0.0
+        bc_total = cold_adj.total_bytes(~assignment) if any_cold else 0.0
+        t_merge = 0.0
+        if mode is ExecutionMode.PARALLEL and any_hot and any_cold:
+            t_merge = self.arch.merge_time_s(tiled.matrix.n_rows)
+        return PredictedTotals(
+            th_total=th_total,
+            tc_total=tc_total,
+            bh_total=bh_total,
+            bc_total=bc_total,
+            t_merge=t_merge,
+        )
+
+
+def exhaustive_partition(
+    partitioner: HotTilesPartitioner,
+    tiled: TiledMatrix,
+    max_tiles: int = 16,
+) -> PartitionResult:
+    """Oracle partitioning by exhaustive search (Sec. V-A).
+
+    Enumerates all ``2**n_tiles`` assignments and both execution modes,
+    scoring each with the final predicted-runtime formulas.  Exponential --
+    guarded by ``max_tiles`` -- and used by the tests to bound how far the
+    heuristics stray from the model-optimal partitioning.
+    """
+    n = tiled.n_tiles
+    if n > max_tiles:
+        raise ValueError(f"exhaustive search limited to {max_tiles} tiles, got {n}")
+    modes = [ExecutionMode.PARALLEL]
+    if not partitioner.arch.atomic_updates:
+        modes.append(ExecutionMode.SERIAL)
+    best: Optional[PartitionResult] = None
+    for bits in range(1 << n):
+        assignment = np.array([(bits >> i) & 1 for i in range(n)], dtype=bool)
+        if partitioner.arch.hot.count == 0 and assignment.any():
+            continue
+        if partitioner.arch.cold.count == 0 and not assignment.all():
+            continue
+        for mode in modes:
+            time_s, totals = partitioner.predicted_runtime(tiled, assignment, mode)
+            if best is None or time_s < best.predicted_time_s:
+                best = PartitionResult(
+                    label="exhaustive",
+                    assignment=assignment,
+                    mode=mode,
+                    predicted_time_s=time_s,
+                    totals=totals,
+                )
+    assert best is not None  # bits = 0 always evaluated
+    return best
+
+
+def _prefix(values: np.ndarray) -> np.ndarray:
+    """``out[k]`` = sum of the first ``k`` values, for k = 0..n."""
+    out = np.zeros(values.shape[0] + 1, dtype=np.float64)
+    np.cumsum(values, out=out[1:])
+    return out
+
+
+def _suffix(values: np.ndarray) -> np.ndarray:
+    """``out[k]`` = sum of values from index ``k`` on, for k = 0..n."""
+    total = values.sum()
+    return total - _prefix(values)
+
+
+def _cutoff_sweep(objective: np.ndarray) -> int:
+    """The paper's cutoff-index placement: advance while improving.
+
+    ``objective[k]`` is the subproblem objective with the first ``k``
+    sorted tiles hot.  Starting from 0, the cutoff moves right as long as
+    the objective strictly decreases and rolls back on the first
+    non-improving move (Sec. V-B).  All four objectives are unimodal in
+    ``k`` (the sort makes their increments monotone), so this first local
+    minimum is also the global one.
+    """
+    cutoff = 0
+    for k in range(1, objective.shape[0]):
+        if objective[k] < objective[cutoff]:
+            cutoff = k
+        else:
+            break
+    return cutoff

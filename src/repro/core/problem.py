@@ -1,0 +1,85 @@
+"""Problem specifications: SpMM and its generalized variants.
+
+The paper's primary kernel is SpMM with ``K = 32`` dense columns; it also
+evaluates gSpMM variants over algebraic semirings whose generalized monoids
+change the arithmetic intensity (Sec. II-A, Fig. 14), and names SpMV and
+SDDMM as kernels with the same access pattern (Sec. X).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+__all__ = ["Kernel", "ProblemSpec"]
+
+
+class Kernel(enum.Enum):
+    """Supported kernels; all share the SpMM memory-access pattern."""
+
+    SPMM = "spmm"
+    GSPMM = "gspmm"  #: generalized monoids -> ``ops_per_nnz`` may exceed 1
+    SPMV = "spmv"  #: SpMM with K = 1
+    SDDMM = "sddmm"  #: reads both dense matrices, writes one value per nnz
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One kernel instance: what gets computed and with which data sizes.
+
+    Parameters
+    ----------
+    k:
+        Number of dense-matrix columns (paper uses 32).
+    value_bytes:
+        Bytes per matrix value (4 for SPADE-Sextans fp32, 8 for PIUMA fp64).
+    index_bytes:
+        Bytes per sparse index item.
+    ops_per_nnz:
+        SIMD K-wide operations per nonzero.  1 models the vanilla SpMM
+        multiply-accumulate; larger values model gSpMM monoids with higher
+        arithmetic intensity (the x-axis of Fig. 14).
+    kernel:
+        Which kernel the spec describes.
+    """
+
+    k: int = 32
+    value_bytes: int = 4
+    index_bytes: int = 4
+    ops_per_nnz: int = 1
+    kernel: Kernel = Kernel.SPMM
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.value_bytes <= 0 or self.index_bytes <= 0:
+            raise ValueError("data sizes must be positive")
+        if self.ops_per_nnz <= 0:
+            raise ValueError("ops_per_nnz must be positive")
+        if self.kernel is Kernel.SPMV and self.k != 1:
+            raise ValueError("SpMV requires k == 1")
+
+    @property
+    def dense_row_bytes(self) -> int:
+        """Bytes of one dense-matrix row (K elements)."""
+        return self.k * self.value_bytes
+
+    @property
+    def flops_per_nnz(self) -> float:
+        """FLOPs per nonzero: ``2 * K`` per SIMD MAC-equivalent op."""
+        return 2.0 * self.k * self.ops_per_nnz
+
+    def with_ops_per_nnz(self, ops_per_nnz: int) -> "ProblemSpec":
+        """Copy with a different arithmetic intensity (gSpMM sweep)."""
+        kernel = Kernel.GSPMM if ops_per_nnz > 1 else self.kernel
+        return replace(self, ops_per_nnz=ops_per_nnz, kernel=kernel)
+
+    @classmethod
+    def spmv(cls, value_bytes: int = 4, index_bytes: int = 4) -> "ProblemSpec":
+        """SpMV spec (K = 1)."""
+        return cls(k=1, value_bytes=value_bytes, index_bytes=index_bytes, kernel=Kernel.SPMV)
+
+    @classmethod
+    def sddmm(cls, k: int = 32, value_bytes: int = 4, index_bytes: int = 4) -> "ProblemSpec":
+        """SDDMM spec: same dense-row traffic, per-nnz scalar output."""
+        return cls(k=k, value_bytes=value_bytes, index_bytes=index_bytes, kernel=Kernel.SDDMM)

@@ -1,0 +1,104 @@
+"""Table I: dense rows and sparse items accessed from main memory per tile.
+
+These are the building blocks of the per-tile traffic estimate.  All
+functions are vectorized over tiles: they take the struct-of-arrays
+statistics of :class:`repro.sparse.tiling.TileStats` plus effective tile
+dimensions (edge tiles may be smaller than the nominal tile size) and
+return one value per tile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.traits import ReuseType, SparseFormat
+from repro.sparse.tiling import TiledMatrix
+
+__all__ = [
+    "dense_rows_accessed",
+    "sparse_items_accessed",
+    "sparse_bytes_accessed",
+    "effective_tile_widths",
+    "effective_tile_heights",
+]
+
+
+def dense_rows_accessed(
+    reuse: ReuseType,
+    tile_nnzs: np.ndarray,
+    tile_uniq_ids: np.ndarray,
+    tile_extents: np.ndarray,
+) -> np.ndarray:
+    """Dense rows fetched from main memory per tile (Table I, upper part).
+
+    Parameters
+    ----------
+    reuse:
+        The worker's reuse type for the operand (*Din* or *Dout*).
+    tile_nnzs:
+        Nonzeros per tile.
+    tile_uniq_ids:
+        Distinct column ids per tile for *Din*, distinct row ids for *Dout*.
+    tile_extents:
+        Effective tile width for *Din*, effective tile height for *Dout*
+        (a streamed dense tile spans the whole tile extent).
+    """
+    if reuse is ReuseType.NONE:
+        return np.asarray(tile_nnzs, dtype=np.float64)
+    if reuse is ReuseType.INTRA_TILE_DEMAND:
+        return np.asarray(tile_uniq_ids, dtype=np.float64)
+    if reuse is ReuseType.INTRA_TILE_STREAM:
+        return np.asarray(tile_extents, dtype=np.float64)
+    if reuse is ReuseType.INTER_TILE:
+        return np.zeros(np.asarray(tile_nnzs).shape, dtype=np.float64)
+    raise ValueError(f"unknown reuse type {reuse!r}")
+
+
+def sparse_items_accessed(
+    fmt: SparseFormat, tile_nnzs: np.ndarray, tile_heights: np.ndarray
+) -> np.ndarray:
+    """Sparse input data items per tile (Table I, bottom part).
+
+    COO-like formats read three items per nonzero (r_id, c_id, val);
+    CSR-like formats read a row-offset item per tile row plus two items per
+    nonzero.
+    """
+    tile_nnzs = np.asarray(tile_nnzs, dtype=np.float64)
+    if fmt is SparseFormat.COO_LIKE:
+        return 3.0 * tile_nnzs
+    if fmt is SparseFormat.CSR_LIKE:
+        return np.asarray(tile_heights, dtype=np.float64) + 2.0 * tile_nnzs
+    raise ValueError(f"unknown sparse format {fmt!r}")
+
+
+def sparse_bytes_accessed(
+    fmt: SparseFormat,
+    tile_nnzs: np.ndarray,
+    tile_heights: np.ndarray,
+    value_bytes: int,
+    index_bytes: int,
+) -> np.ndarray:
+    """Sparse input bytes per tile, splitting items into indices and values.
+
+    COO carries two indices and one value per nonzero; CSR carries one
+    offset index per tile row plus one index and one value per nonzero.
+    """
+    tile_nnzs = np.asarray(tile_nnzs, dtype=np.float64)
+    if fmt is SparseFormat.COO_LIKE:
+        return tile_nnzs * (2.0 * index_bytes + value_bytes)
+    if fmt is SparseFormat.CSR_LIKE:
+        heights = np.asarray(tile_heights, dtype=np.float64)
+        return heights * index_bytes + tile_nnzs * (index_bytes + value_bytes)
+    raise ValueError(f"unknown sparse format {fmt!r}")
+
+
+def effective_tile_widths(tiled: TiledMatrix) -> np.ndarray:
+    """Per-tile effective width: edge tiles are clipped by the matrix."""
+    start = tiled.stats.tile_col * tiled.tile_width
+    return np.minimum(tiled.tile_width, tiled.matrix.n_cols - start).astype(np.float64)
+
+
+def effective_tile_heights(tiled: TiledMatrix) -> np.ndarray:
+    """Per-tile effective height: edge tiles are clipped by the matrix."""
+    start = tiled.stats.tile_row * tiled.tile_height
+    return np.minimum(tiled.tile_height, tiled.matrix.n_rows - start).astype(np.float64)

@@ -1,0 +1,103 @@
+"""Whole-matrix roofline model (the IMH-*unaware* estimator, Sec. III-B).
+
+IUnaware models the full matrix with a single holistic Roofline: execution
+time is the maximum of the compute time (total FLOPs over the worker's
+throughput) and the memory time (total bytes over the achievable
+bandwidth), where the byte count assumes nonzeros are *uniformly
+distributed* across the matrix -- the same assumption AESPA makes.
+
+Crucially, the holistic model reasons at whole-matrix granularity: a
+streaming worker is charged one pass over the dense matrices, and demand
+reuse is charged the balls-in-bins expected number of distinct rows among
+``nnz`` uniform throws.  For a power-law matrix this *severely*
+underestimates a scratchpad worker's real traffic (which streams a full
+dense tile for every almost-empty sparse tile), which is why IUnaware
+over-assigns tiles to hot workers and underperforms (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import ProblemSpec
+from repro.core.traits import ReuseType, SparseFormat, WorkerTraits
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["RooflineEstimate", "expected_unique", "roofline_estimate"]
+
+
+@dataclass(frozen=True)
+class RooflineEstimate:
+    """Whole-matrix prediction for a single worker instance."""
+
+    time_s: float
+    compute_time_s: float
+    memory_time_s: float
+    bytes_total: float
+
+
+def expected_unique(bins: float, balls: float) -> float:
+    """Expected occupied bins after ``balls`` uniform throws.
+
+    ``bins * (1 - (1 - 1/bins)**balls)``: the expected number of distinct
+    row (column) ids among uniformly scattered nonzeros.
+    """
+    if bins <= 0 or balls <= 0:
+        return 0.0
+    return bins * (1.0 - (1.0 - 1.0 / bins) ** balls)
+
+
+def roofline_estimate(
+    matrix: SparseMatrix,
+    worker: WorkerTraits,
+    problem: ProblemSpec,
+    bw_bytes_per_sec: float,
+) -> RooflineEstimate:
+    """Predict the whole-matrix runtime of one worker, IMH-unaware.
+
+    ``bw_bytes_per_sec`` should be the bandwidth one worker instance can
+    actually draw (``min(worker rate, system BW)``); callers divide the
+    resulting time by the worker count to approximate group execution
+    (Sec. III-B).
+    """
+    nnz = float(matrix.nnz)
+    row_bytes = float(problem.dense_row_bytes)
+    din_rows = _matrix_level_rows(worker, "din", nnz, float(matrix.n_cols))
+    dout_rows = _matrix_level_rows(worker, "dout", nnz, float(matrix.n_rows))
+    dense_bytes = din_rows * row_bytes + 2.0 * dout_rows * row_bytes  # Dout read + write
+
+    if worker.sparse_format is SparseFormat.COO_LIKE:
+        sparse_bytes = nnz * (2.0 * problem.index_bytes + problem.value_bytes)
+    else:
+        sparse_bytes = matrix.n_rows * problem.index_bytes + nnz * (
+            problem.index_bytes + problem.value_bytes
+        )
+
+    bytes_total = dense_bytes + sparse_bytes
+    cycles = worker.cycles_per_nonzero(problem.k, problem.ops_per_nnz)
+    compute_time = nnz * cycles / (worker.frequency_ghz * 1e9)
+    memory_time = bytes_total / bw_bytes_per_sec
+    return RooflineEstimate(
+        time_s=max(compute_time, memory_time),
+        compute_time_s=compute_time,
+        memory_time_s=memory_time,
+        bytes_total=bytes_total,
+    )
+
+
+def _matrix_level_rows(
+    worker: WorkerTraits, operand: str, nnz: float, extent: float
+) -> float:
+    """Dense rows fetched for one operand, at whole-matrix granularity."""
+    reuse = worker.din_reuse if operand == "din" else worker.dout_reuse
+    if reuse is ReuseType.INTER_TILE:
+        # At matrix granularity the steady-state/first-tile split collapses
+        # into the first-tile reuse type applied once.
+        reuse = worker.effective_first_reuse(operand)
+    if reuse is ReuseType.NONE:
+        return nnz
+    if reuse is ReuseType.INTRA_TILE_DEMAND:
+        return expected_unique(extent, nnz)
+    if reuse is ReuseType.INTRA_TILE_STREAM:
+        return extent
+    raise ValueError(f"unexpected reuse type {reuse!r}")

@@ -1,0 +1,61 @@
+"""Free-dimension tile-size search (paper Sec. IV).
+
+When a worker type uses no scratchpad for *Din* (or *Dout*), the tile
+width (height) is unconstrained, and "the IMH-aware modeling and
+partitioning methodology can be iteratively applied to find the value that
+is predicted to deliver the maximum performance".  This module implements
+that iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.arch.heterogeneous import Architecture
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.tiling import TiledMatrix
+
+__all__ = ["TileSizeChoice", "search_tile_size"]
+
+
+@dataclass(frozen=True)
+class TileSizeChoice:
+    """The winning tile shape and its predicted runtime."""
+
+    tile_height: int
+    tile_width: int
+    predicted_time_s: float
+
+
+def search_tile_size(
+    matrix: SparseMatrix,
+    arch: Architecture,
+    heights: Optional[Sequence[int]] = None,
+    widths: Optional[Sequence[int]] = None,
+) -> Tuple[TileSizeChoice, TiledMatrix]:
+    """Pick the tile shape with the lowest HotTiles-predicted runtime.
+
+    ``heights``/``widths`` default to the architecture's fixed value for
+    constrained dimensions; pass candidate lists for free dimensions.
+    Returns the winning choice and the matrix tiled with it.
+    """
+    from repro.core.partition import HotTilesPartitioner
+
+    heights = list(heights) if heights else [arch.tile_height]
+    widths = list(widths) if widths else [arch.tile_width]
+    if any(h <= 0 for h in heights) or any(w <= 0 for w in widths):
+        raise ValueError("tile dimensions must be positive")
+
+    best: Optional[TileSizeChoice] = None
+    best_tiled: Optional[TiledMatrix] = None
+    for h in heights:
+        for w in widths:
+            candidate_arch = replace(arch, tile_height=h, tile_width=w)
+            tiled = TiledMatrix(matrix, h, w)
+            result = HotTilesPartitioner(candidate_arch).partition(tiled)
+            if best is None or result.chosen.predicted_time_s < best.predicted_time_s:
+                best = TileSizeChoice(h, w, result.chosen.predicted_time_s)
+                best_tiled = tiled
+    assert best is not None and best_tiled is not None
+    return best, best_tiled

@@ -1,0 +1,34 @@
+"""Experiment harness: one entry point per paper table and figure.
+
+- :mod:`repro.experiments.matrices` -- synthetic stand-ins for the
+  SuiteSparse benchmark sets (Tables V and VIII),
+- :mod:`repro.experiments.runner` -- calibrated strategy evaluation
+  (HotOnly / ColdOnly / IUnaware / HotTiles / BestHomogeneous),
+- :mod:`repro.experiments.figures` -- ``figure04`` .. ``figure18`` and
+  ``table06`` .. ``table09`` reproduction functions,
+- :mod:`repro.experiments.reporting` -- plain-text rendering of results.
+"""
+
+from repro.experiments.matrices import (
+    BenchmarkMatrix,
+    TABLE_V,
+    TABLE_VIII,
+    load_matrix,
+    profiling_matrices,
+)
+from repro.experiments.runner import MatrixRun, StrategyOutcome, calibrated, evaluate_matrix
+from repro.experiments import export, sweeps
+
+__all__ = [
+    "export",
+    "sweeps",
+    "BenchmarkMatrix",
+    "TABLE_V",
+    "TABLE_VIII",
+    "load_matrix",
+    "profiling_matrices",
+    "MatrixRun",
+    "StrategyOutcome",
+    "calibrated",
+    "evaluate_matrix",
+]

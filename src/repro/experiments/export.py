@@ -1,0 +1,77 @@
+"""CSV export of experiment results.
+
+Downstream users (plotting scripts, regression dashboards) want the raw
+series rather than rendered text; every figure result object can be
+flattened to CSV rows here.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+__all__ = ["rows_to_csv", "result_to_csv"]
+
+
+def rows_to_csv(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    target: Union[str, Path, io.TextIOBase, None] = None,
+) -> str:
+    """Write ``rows`` as CSV; returns the CSV text.
+
+    ``target`` may be a path or file object; ``None`` renders to a string
+    only.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    text = buf.getvalue()
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(text, encoding="ascii")
+    elif target is not None:
+        target.write(text)
+    return text
+
+
+def result_to_csv(result: object, target: Union[str, Path, None] = None) -> str:
+    """Flatten a figure result dataclass with a ``rows`` attribute to CSV.
+
+    The header is derived from the result type; tuple rows are written
+    as-is, dataclass rows field-by-field.
+    """
+    rows = getattr(result, "rows", None)
+    if rows is None:
+        raise ValueError(f"{type(result).__name__} has no 'rows' to export")
+    if isinstance(rows, dict):
+        # e.g. Table07Result: {scale: [UtilizationRow, ...]}
+        flat = []
+        for key, group in rows.items():
+            for row in group:
+                flat.append((key, *_row_values(row)))
+        if not flat:
+            raise ValueError("nothing to export")
+        headers = ["group"] + _row_headers(next(iter(rows.values()))[0], len(flat[0]) - 1)
+        return rows_to_csv(headers, flat, target)
+    rows = list(rows)
+    if not rows:
+        raise ValueError("nothing to export")
+    headers = _row_headers(rows[0], len(_row_values(rows[0])))
+    return rows_to_csv(headers, [_row_values(r) for r in rows], target)
+
+
+def _row_values(row: object) -> tuple:
+    if is_dataclass(row):
+        return tuple(getattr(row, f.name) for f in fields(row))
+    return tuple(row)
+
+
+def _row_headers(row: object, width: int) -> list:
+    if is_dataclass(row):
+        return [f.name for f in fields(row)]
+    return [f"col{i}" for i in range(width)]

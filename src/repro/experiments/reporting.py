@@ -1,0 +1,84 @@
+"""Plain-text rendering of experiment results.
+
+Every figure/table function in :mod:`repro.experiments.figures` returns a
+structured result; these helpers render them as aligned text tables (the
+same rows/series the paper plots), which the CLI and the benchmark harness
+print.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "geomean", "format_assignment_map"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper's 'average speedup')."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_assignment_map(
+    density_grid: np.ndarray, hot_grid: np.ndarray, max_dim: int = 48
+) -> str:
+    """ASCII rendering of a Fig. 5-style tile map.
+
+    ``#`` marks tiles assigned to hot workers, ``.`` cold tiles, space for
+    empty tiles.  Large grids are downsampled by majority vote.
+    """
+    if density_grid.shape != hot_grid.shape:
+        raise ValueError("grids must share a shape")
+    h, w = density_grid.shape
+    step = max(1, -(-max(h, w) // max_dim))
+    lines = []
+    for r0 in range(0, h, step):
+        row = []
+        for c0 in range(0, w, step):
+            d = density_grid[r0 : r0 + step, c0 : c0 + step]
+            hot = hot_grid[r0 : r0 + step, c0 : c0 + step]
+            if d.sum() == 0:
+                row.append(" ")
+            elif hot[d > 0].mean() >= 0.5:
+                row.append("#")
+            else:
+                row.append(".")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,189 @@
+"""Calibrated strategy evaluation for one (architecture, matrix) pair.
+
+Reproduces the paper's measurement loop: calibrate ``vis_lat`` once per
+architecture from profiling runs (Sec. VI-B), then for each benchmark run
+the homogeneous executions, the IUnaware heterogeneous baseline, and
+HotTiles, and record simulated ("actual") plus model-predicted runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Optional
+
+from repro.arch.heterogeneous import Architecture
+from repro.core.baselines import iunaware_assignment
+from repro.core.calibration import calibrate_architecture
+from repro.core.partition import ExecutionMode, HotTilesPartitioner, HotTilesResult
+from repro.core.traits import WorkerKind
+from repro.sim.engine import SimResult, simulate, simulate_homogeneous
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.tiling import TiledMatrix
+from repro.experiments.matrices import profiling_matrices
+
+__all__ = [
+    "HOT_ONLY",
+    "COLD_ONLY",
+    "IUNAWARE",
+    "HOTTILES",
+    "StrategyOutcome",
+    "MatrixRun",
+    "calibrated",
+    "evaluate_matrix",
+    "evaluate_heuristics",
+]
+
+HOT_ONLY = "hot-only"
+COLD_ONLY = "cold-only"
+IUNAWARE = "iunaware"
+HOTTILES = "hottiles"
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Simulated and predicted runtime of one strategy on one matrix."""
+
+    strategy: str
+    time_s: float  #: simulated ("actual") runtime
+    sim: SimResult
+    predicted_s: Optional[float] = None  #: model prediction, when one exists
+    hot_nnz_fraction: float = 0.0
+
+    @property
+    def prediction_error(self) -> Optional[float]:
+        """Relative error ``|pred - actual| / actual`` (Fig. 17)."""
+        if self.predicted_s is None:
+            return None
+        return abs(self.predicted_s - self.time_s) / self.time_s
+
+
+@dataclass
+class MatrixRun:
+    """All strategy outcomes for one (architecture, matrix) pair."""
+
+    arch: Architecture
+    nnz: int
+    outcomes: Dict[str, StrategyOutcome] = field(default_factory=dict)
+    partition: Optional[HotTilesResult] = None
+
+    def time(self, strategy: str) -> float:
+        return self.outcomes[strategy].time_s
+
+    @property
+    def best_homogeneous_s(self) -> float:
+        """The BestHomogeneous oracle: min of HotOnly / ColdOnly."""
+        times = [self.time(s) for s in (HOT_ONLY, COLD_ONLY) if s in self.outcomes]
+        if not times:
+            raise ValueError("no homogeneous outcome recorded")
+        return min(times)
+
+    @property
+    def worst_homogeneous_s(self) -> float:
+        """Normalization base of Figs. 4/10/11: the worse homogeneous run."""
+        times = [self.time(s) for s in (HOT_ONLY, COLD_ONLY) if s in self.outcomes]
+        if not times:
+            raise ValueError("no homogeneous outcome recorded")
+        return max(times)
+
+    def speedup_over(self, strategy: str, baseline_s: float) -> float:
+        """``baseline_s / time(strategy)``."""
+        return baseline_s / self.time(strategy)
+
+
+@lru_cache(maxsize=None)
+def calibrated(arch: Architecture) -> Architecture:
+    """Architecture with ``vis_lat`` fitted against simulated profiling runs.
+
+    Cached: the paper notes calibration is a one-time per-machine cost
+    whose result is reused across matrices.
+    """
+
+    def measure(a: Architecture, tiled: TiledMatrix, kind: WorkerKind) -> float:
+        return simulate_homogeneous(a, tiled, kind).time_s
+
+    tiles = [
+        TiledMatrix(m, arch.tile_height, arch.tile_width) for m in profiling_matrices()
+    ]
+    return calibrate_architecture(arch, measure, tiles)
+
+
+def evaluate_matrix(
+    arch: Architecture,
+    matrix: SparseMatrix,
+    seed: int = 0,
+    calibrate: bool = True,
+    strategies: Optional[tuple] = None,
+) -> MatrixRun:
+    """Run the requested strategies on one matrix.
+
+    ``strategies`` defaults to every strategy applicable to the
+    architecture (homogeneous runs need workers of that type; the
+    heterogeneous strategies need both types).
+    """
+    arch_c = calibrated(arch) if calibrate else arch
+    tiled = TiledMatrix(matrix, arch_c.tile_height, arch_c.tile_width)
+    partitioner = HotTilesPartitioner(arch_c)
+    both = arch_c.hot.count > 0 and arch_c.cold.count > 0
+    if strategies is None:
+        strategies = tuple(
+            s
+            for s, ok in (
+                (HOT_ONLY, arch_c.hot.count > 0),
+                (COLD_ONLY, arch_c.cold.count > 0),
+                (IUNAWARE, both),
+                (HOTTILES, True),
+            )
+            if ok
+        )
+
+    run = MatrixRun(arch=arch_c, nnz=matrix.nnz)
+    for strategy in strategies:
+        if strategy == HOT_ONLY:
+            sim = simulate_homogeneous(arch_c, tiled, WorkerKind.HOT)
+            predicted = partitioner.predict_homogeneous(tiled, WorkerKind.HOT)
+            frac = 1.0
+        elif strategy == COLD_ONLY:
+            sim = simulate_homogeneous(arch_c, tiled, WorkerKind.COLD)
+            predicted = partitioner.predict_homogeneous(tiled, WorkerKind.COLD)
+            frac = 0.0
+        elif strategy == IUNAWARE:
+            decision = iunaware_assignment(tiled, arch_c, seed=seed)
+            sim = simulate(arch_c, tiled, decision.assignment, ExecutionMode.PARALLEL)
+            predicted = None
+            nnz = tiled.stats.nnz
+            frac = float(nnz[decision.assignment].sum() / nnz.sum()) if matrix.nnz else 0.0
+        elif strategy == HOTTILES:
+            result = partitioner.partition(tiled)
+            run.partition = result
+            chosen = result.chosen
+            sim = simulate(arch_c, tiled, chosen.assignment, chosen.mode)
+            predicted = chosen.predicted_time_s
+            frac = chosen.hot_nnz_fraction(tiled)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        run.outcomes[strategy] = StrategyOutcome(
+            strategy=strategy,
+            time_s=sim.time_s,
+            sim=sim,
+            predicted_s=predicted,
+            hot_nnz_fraction=frac,
+        )
+    return run
+
+
+def evaluate_heuristics(
+    arch: Architecture, matrix: SparseMatrix, calibrate: bool = True
+) -> Dict[str, float]:
+    """Simulated runtime of each individual heuristic's partitioning plus
+    the HotTiles selection (Fig. 12)."""
+    arch_c = calibrated(arch) if calibrate else arch
+    tiled = TiledMatrix(matrix, arch_c.tile_height, arch_c.tile_width)
+    result = HotTilesPartitioner(arch_c).partition(tiled)
+    times: Dict[str, float] = {}
+    for heuristic, candidate in result.candidates.items():
+        sim = simulate(arch_c, tiled, candidate.assignment, candidate.mode)
+        times[heuristic.value] = sim.time_s
+    chosen_sim = simulate(arch_c, tiled, result.chosen.assignment, result.chosen.mode)
+    times[HOTTILES] = chosen_sim.time_s
+    return times

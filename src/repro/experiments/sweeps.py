@@ -1,0 +1,120 @@
+"""Parameter sweeps: sensitivity of the HotTiles decision to the machine.
+
+The paper fixes most machine parameters (K = 32, 205 GB/s, Table IV
+worker mixes); these sweeps explore the neighbourhood and serve as
+ablations for the design choices DESIGN.md calls out:
+
+- ``bandwidth_sweep`` -- how the strategy ranking shifts as the shared
+  memory bandwidth scales (the resource all heuristics reason about),
+- ``k_sweep`` -- dense-column count K; note the scratchpad-derived tile
+  width shrinks as K grows, so the sweep exercises the tile-geometry
+  coupling of Sec. IV,
+- ``cold_count_sweep`` -- cold-worker count at a fixed hot worker (a
+  finer-grained version of the Fig. 16 iso-scale exploration).
+
+All sweeps run the full calibrate + partition + simulate pipeline per
+point and return rows renderable like the figure results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.arch.heterogeneous import Architecture, WorkerGroup
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    COLD_ONLY,
+    HOT_ONLY,
+    HOTTILES,
+    evaluate_matrix,
+)
+from repro.sparse.matrix import SparseMatrix
+from repro.workers.sextans import sextans_tile_width
+
+__all__ = ["SweepResult", "bandwidth_sweep", "k_sweep", "cold_count_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One sweep: per point, simulated ms for the three main strategies."""
+
+    parameter: str
+    rows: List[Tuple[float, float, float, float]]
+    #: (parameter value, HotOnly ms, ColdOnly ms, HotTiles ms)
+
+    def render(self) -> str:
+        return format_table(
+            [self.parameter, "HotOnly ms", "ColdOnly ms", "HotTiles ms"],
+            self.rows,
+            title=f"Sweep over {self.parameter}",
+        )
+
+    def hottiles_ms(self) -> List[float]:
+        return [r[3] for r in self.rows]
+
+    def best_strategy_per_point(self) -> List[str]:
+        """Which strategy wins at each sweep point."""
+        names = [HOT_ONLY, COLD_ONLY, HOTTILES]
+        return [names[min(range(3), key=lambda i: row[1 + i])] for row in self.rows]
+
+
+def _measure(arch: Architecture, matrix: SparseMatrix) -> Tuple[float, float, float]:
+    run = evaluate_matrix(arch, matrix)
+    return (
+        run.time(HOT_ONLY) * 1e3,
+        run.time(COLD_ONLY) * 1e3,
+        run.time(HOTTILES) * 1e3,
+    )
+
+
+def bandwidth_sweep(
+    arch: Architecture, matrix: SparseMatrix, factors: Sequence[float]
+) -> SweepResult:
+    """Scale the shared memory bandwidth by each factor."""
+    if not factors or any(f <= 0 for f in factors):
+        raise ValueError("factors must be positive and non-empty")
+    rows = []
+    for f in factors:
+        point = dataclasses.replace(arch, mem_bw_gbs=arch.mem_bw_gbs * f)
+        rows.append((float(f), *_measure(point, matrix)))
+    return SweepResult(parameter="bandwidth factor", rows=rows)
+
+
+def k_sweep(
+    arch: Architecture, matrix: SparseMatrix, ks: Sequence[int]
+) -> SweepResult:
+    """Sweep the dense column count K.
+
+    The hot worker's scratchpad capacity is fixed, so the tile width it
+    supports shrinks as rows get wider -- K and tile geometry co-vary
+    exactly as Sec. IV prescribes.
+    """
+    if not ks or any(k <= 0 for k in ks):
+        raise ValueError("ks must be positive and non-empty")
+    rows = []
+    for k in ks:
+        problem = dataclasses.replace(arch.problem, k=int(k))
+        if arch.hot.traits.scratchpad_bytes is not None and arch.hot.count > 0:
+            tile_width = sextans_tile_width(arch.hot.traits, problem.dense_row_bytes)
+        else:
+            tile_width = arch.tile_width
+        point = dataclasses.replace(arch, problem=problem, tile_width=tile_width)
+        rows.append((float(k), *_measure(point, matrix)))
+    return SweepResult(parameter="K", rows=rows)
+
+
+def cold_count_sweep(
+    arch: Architecture, matrix: SparseMatrix, counts: Sequence[int]
+) -> SweepResult:
+    """Sweep the number of cold workers at a fixed hot worker."""
+    if not counts or any(c <= 0 for c in counts):
+        raise ValueError("counts must be positive and non-empty")
+    rows = []
+    for count in counts:
+        point = dataclasses.replace(
+            arch, cold=WorkerGroup(arch.cold.traits, int(count))
+        )
+        rows.append((float(count), *_measure(point, matrix)))
+    return SweepResult(parameter="cold workers", rows=rows)

@@ -1,0 +1,28 @@
+"""HotTiles preprocessing pipeline (paper Fig. 7 and Sec. VI-B).
+
+``matrix scan -> per-tile modeling -> partitioning heuristic -> sparse
+format generation`` for each worker type.  The generated formats are
+directly executable (each carries a reference SpMM), which is how the
+tests prove that partitioning + merging preserves the computation.
+"""
+
+from repro.pipeline.formats import (
+    TiledCoo,
+    TiledCsr,
+    UntiledCoo,
+    UntiledCsr,
+    build_format,
+)
+from repro.pipeline.preprocess import HotTilesPreprocessor, PreprocessResult
+from repro.pipeline.cost import PreprocessCost
+
+__all__ = [
+    "TiledCoo",
+    "TiledCsr",
+    "UntiledCoo",
+    "UntiledCsr",
+    "build_format",
+    "HotTilesPreprocessor",
+    "PreprocessResult",
+    "PreprocessCost",
+]

@@ -1,0 +1,249 @@
+"""Accelerator sparse formats (paper Table III / Sec. VII-A).
+
+Each worker type consumes the partition's tiles in its own compression
+format and traversal order:
+
+- SPADE PEs: *untiled COO* (row-major nonzeros of the cold partition),
+- Sextans: *tiled COO* (tile-major nonzeros with tile descriptors),
+- PIUMA MTPs: *untiled CSR*,
+- PIUMA STPs: *tiled CSR*.
+
+Every format object carries a reference ``spmm`` so tests can verify that
+the hot and cold partial outputs recombine into the exact SpMM result --
+functionally, this is what the Merger module (or the PIUMA atomics) do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.core.traits import SparseFormat, Traversal, WorkerTraits
+from repro.sparse.tiling import TiledMatrix
+
+__all__ = ["UntiledCoo", "TiledCoo", "UntiledCsr", "TiledCsr", "build_format", "AnyFormat"]
+
+
+@dataclass(frozen=True)
+class UntiledCoo:
+    """Row-major COO over a tile subset (SPADE's format, Fig. 6(a))."""
+
+    n_rows: int
+    n_cols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rows.shape[0])
+
+    @property
+    def data_items(self) -> int:
+        """Items fetched from memory (Table I): 3 per nonzero."""
+        return 3 * self.nnz
+
+    def spmm(self, din: np.ndarray) -> np.ndarray:
+        out = np.zeros((self.n_rows, din.shape[1]), dtype=np.result_type(self.vals, din))
+        np.add.at(out, self.rows, self.vals[:, None] * din[self.cols])
+        return out
+
+
+@dataclass(frozen=True)
+class TiledCoo:
+    """Tile-major COO with per-tile descriptors (Sextans, Fig. 6(b))."""
+
+    n_rows: int
+    n_cols: int
+    tile_row: np.ndarray  #: per tile
+    tile_col: np.ndarray  #: per tile
+    tile_offsets: np.ndarray  #: per tile + sentinel, into the nnz arrays
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rows.shape[0])
+
+    @property
+    def n_tiles(self) -> int:
+        return int(self.tile_row.shape[0])
+
+    @property
+    def data_items(self) -> int:
+        return 3 * self.nnz
+
+    def spmm(self, din: np.ndarray) -> np.ndarray:
+        out = np.zeros((self.n_rows, din.shape[1]), dtype=np.result_type(self.vals, din))
+        # Tile-by-tile accumulation, mirroring the streaming execution.
+        for t in range(self.n_tiles):
+            lo, hi = self.tile_offsets[t], self.tile_offsets[t + 1]
+            np.add.at(
+                out,
+                self.rows[lo:hi],
+                self.vals[lo:hi, None] * din[self.cols[lo:hi]],
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class UntiledCsr:
+    """CSR over the full row range, holding a tile subset (PIUMA MTP)."""
+
+    n_rows: int
+    n_cols: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    vals: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def data_items(self) -> int:
+        """Table I: ``height + 2 * nnz`` items."""
+        return self.n_rows + 2 * self.nnz
+
+    def spmm(self, din: np.ndarray) -> np.ndarray:
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr))
+        out = np.zeros((self.n_rows, din.shape[1]), dtype=np.result_type(self.vals, din))
+        np.add.at(out, rows, self.vals[:, None] * din[self.indices])
+        return out
+
+
+@dataclass(frozen=True)
+class TiledCsr:
+    """Per-tile CSR blocks (PIUMA STP).
+
+    Each tile carries a local ``tile_height + 1`` indptr; row ids are local
+    to the tile's row panel.
+    """
+
+    n_rows: int
+    n_cols: int
+    tile_height: int
+    tile_row: np.ndarray
+    tile_col: np.ndarray
+    tile_indptr_offsets: np.ndarray  #: per tile, start into indptrs array
+    indptrs: np.ndarray  #: concatenated per-tile local indptrs
+    tile_offsets: np.ndarray  #: per tile + sentinel, into indices/vals
+    indices: np.ndarray
+    vals: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def n_tiles(self) -> int:
+        return int(self.tile_row.shape[0])
+
+    @property
+    def data_items(self) -> int:
+        """Table I: per tile, ``tile_height + 2 * tile_nnz`` items."""
+        return int(self.indptrs.shape[0] - self.n_tiles) + 2 * self.nnz
+
+    def spmm(self, din: np.ndarray) -> np.ndarray:
+        out = np.zeros((self.n_rows, din.shape[1]), dtype=np.result_type(self.vals, din))
+        for t in range(self.n_tiles):
+            base_row = int(self.tile_row[t]) * self.tile_height
+            ip_lo = self.tile_indptr_offsets[t]
+            height = (
+                self.tile_indptr_offsets[t + 1] - ip_lo - 1
+                if t + 1 < self.n_tiles
+                else self.indptrs.shape[0] - ip_lo - 1
+            )
+            local_indptr = self.indptrs[ip_lo : ip_lo + height + 1]
+            nnz_lo = self.tile_offsets[t]
+            local_rows = np.repeat(
+                np.arange(height, dtype=np.int64), np.diff(local_indptr)
+            )
+            lo, hi = nnz_lo, self.tile_offsets[t + 1]
+            np.add.at(
+                out,
+                base_row + local_rows,
+                self.vals[lo:hi, None] * din[self.indices[lo:hi]],
+            )
+        return out
+
+
+AnyFormat = Union[UntiledCoo, TiledCoo, UntiledCsr, TiledCsr]
+
+
+def build_format(
+    tiled: TiledMatrix, tile_subset: np.ndarray, worker: WorkerTraits
+) -> AnyFormat:
+    """Materialize the worker's sparse format over a subset of tiles.
+
+    ``tile_subset`` is a boolean mask over the non-empty tiles; the format
+    is chosen by the worker's (sparse_format, traversal) pair.
+    """
+    tile_subset = np.asarray(tile_subset, dtype=bool)
+    if tile_subset.shape != (tiled.n_tiles,):
+        raise ValueError(f"tile_subset must have shape ({tiled.n_tiles},)")
+    tile_idx = np.flatnonzero(tile_subset)
+    pieces = [np.arange(tiled.tile_offsets[i], tiled.tile_offsets[i + 1]) for i in tile_idx]
+    nnz_idx = np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int64)
+    matrix = tiled.matrix
+
+    if worker.traversal is Traversal.UNTILED_ROW_ORDERED:
+        key = tiled.rows[nnz_idx] * np.int64(max(matrix.n_cols, 1)) + tiled.cols[nnz_idx]
+        nnz_idx = nnz_idx[np.argsort(key, kind="stable")]
+        rows = tiled.rows[nnz_idx]
+        cols = tiled.cols[nnz_idx]
+        vals = tiled.vals[nnz_idx]
+        if worker.sparse_format is SparseFormat.COO_LIKE:
+            return UntiledCoo(matrix.n_rows, matrix.n_cols, rows, cols, vals)
+        counts = np.bincount(rows, minlength=matrix.n_rows)
+        indptr = np.zeros(matrix.n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return UntiledCsr(matrix.n_rows, matrix.n_cols, indptr, cols, vals)
+
+    # Tiled traversal: nonzeros already tile-major inside TiledMatrix.
+    rows = tiled.rows[nnz_idx]
+    cols = tiled.cols[nnz_idx]
+    vals = tiled.vals[nnz_idx]
+    sizes = tiled.tile_offsets[tile_idx + 1] - tiled.tile_offsets[tile_idx]
+    offsets = np.zeros(tile_idx.shape[0] + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    tile_row = tiled.stats.tile_row[tile_idx]
+    tile_col = tiled.stats.tile_col[tile_idx]
+    if worker.sparse_format is SparseFormat.COO_LIKE:
+        return TiledCoo(
+            matrix.n_rows, matrix.n_cols, tile_row, tile_col, offsets, rows, cols, vals
+        )
+
+    # Tiled CSR: local indptr per tile over the (clipped) tile height.
+    th = tiled.tile_height
+    indptr_chunks = []
+    indptr_offsets = np.zeros(tile_idx.shape[0], dtype=np.int64)
+    pos = 0
+    for j, t in enumerate(tile_idx):
+        lo, hi = offsets[j], offsets[j + 1]
+        base = int(tile_row[j]) * th
+        height = min(th, matrix.n_rows - base)
+        counts = np.bincount(rows[lo:hi] - base, minlength=height)
+        local = np.zeros(height + 1, dtype=np.int64)
+        np.cumsum(counts, out=local[1:])
+        indptr_chunks.append(local)
+        indptr_offsets[j] = pos
+        pos += height + 1
+    indptrs = (
+        np.concatenate(indptr_chunks) if indptr_chunks else np.zeros(0, dtype=np.int64)
+    )
+    return TiledCsr(
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        tile_height=th,
+        tile_row=tile_row,
+        tile_col=tile_col,
+        tile_indptr_offsets=indptr_offsets,
+        indptrs=indptrs,
+        tile_offsets=offsets,
+        indices=cols,
+        vals=vals,
+    )

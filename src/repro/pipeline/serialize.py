@@ -1,0 +1,99 @@
+"""Persisting preprocessing artifacts.
+
+The paper notes the generated formats "can be stored for later use --
+e.g., they can be generated and used during GNN training and then saved
+and reused during GNN inference" (Sec. VI-B).  This module round-trips
+the four accelerator formats and the partition assignment through ``.npz``
+archives so a preprocessing run is a durable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Type, Union
+
+import numpy as np
+
+from repro.pipeline.formats import AnyFormat, TiledCoo, TiledCsr, UntiledCoo, UntiledCsr
+
+__all__ = ["save_format", "load_format", "save_assignment", "load_assignment"]
+
+_FORMAT_TYPES: Dict[str, Type] = {
+    cls.__name__: cls for cls in (UntiledCoo, TiledCoo, UntiledCsr, TiledCsr)
+}
+
+#: Scalar (non-array) constructor fields per format type.
+_SCALAR_FIELDS = {
+    "UntiledCoo": ("n_rows", "n_cols"),
+    "TiledCoo": ("n_rows", "n_cols"),
+    "UntiledCsr": ("n_rows", "n_cols"),
+    "TiledCsr": ("n_rows", "n_cols", "tile_height"),
+}
+
+
+def save_format(fmt: AnyFormat, path: Union[str, Path]) -> Path:
+    """Write one accelerator format as a self-describing ``.npz``."""
+    path = Path(path)
+    type_name = type(fmt).__name__
+    if type_name not in _FORMAT_TYPES:
+        raise ValueError(f"unknown format type {type_name}")
+    payload = {"__format__": np.array(type_name)}
+    scalars = {}
+    for field_name in fmt.__dataclass_fields__:
+        value = getattr(fmt, field_name)
+        if isinstance(value, np.ndarray):
+            payload[field_name] = value
+        else:
+            scalars[field_name] = int(value)
+    payload["__scalars__"] = np.array(json.dumps(scalars))
+    np.savez(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_format(path: Union[str, Path]) -> AnyFormat:
+    """Load a format written by :func:`save_format`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            type_name = str(data["__format__"])
+            scalars = json.loads(str(data["__scalars__"]))
+        except KeyError as exc:
+            raise ValueError(f"{path} is not a saved HotTiles format") from exc
+        cls = _FORMAT_TYPES.get(type_name)
+        if cls is None:
+            raise ValueError(f"unknown format type {type_name!r} in {path}")
+        kwargs = dict(scalars)
+        for field_name in cls.__dataclass_fields__:
+            if field_name in kwargs:
+                continue
+            if field_name not in data:
+                raise ValueError(f"{path} is missing array field {field_name!r}")
+            kwargs[field_name] = data[field_name]
+    return cls(**kwargs)
+
+
+def save_assignment(
+    assignment: np.ndarray, path: Union[str, Path], label: str = "", mode: str = ""
+) -> Path:
+    """Persist a hot/cold tile assignment with its provenance labels."""
+    path = Path(path)
+    np.savez(
+        path,
+        assignment=np.asarray(assignment, dtype=bool),
+        label=np.array(label),
+        mode=np.array(mode),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_assignment(path: Union[str, Path]):
+    """Load ``(assignment, label, mode)`` written by :func:`save_assignment`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            return (
+                data["assignment"].astype(bool),
+                str(data["label"]),
+                str(data["mode"]),
+            )
+        except KeyError as exc:
+            raise ValueError(f"{path} is not a saved assignment") from exc

@@ -1,0 +1,224 @@
+"""The fluid event-driven execution engine.
+
+Workers execute their chunk phases sequentially; inside a phase, compute
+progresses at wall-clock rate while memory traffic drains at the max-min
+fair rate granted by :func:`repro.sim.memory.allocate_rates`.  The engine
+advances the clock to the next sub-completion (a worker finishing its
+phase's compute or its phase's bytes -- both change the demand picture),
+reallocates, and repeats.  This is the standard fluid approximation of a
+bandwidth-shared system at the granularity where the paper's claims live:
+tiles, panels, and worker types.
+
+Parallel mode runs both groups concurrently and appends the Merger pass
+(three sweeps over the *Dout* footprint) when both groups wrote output and
+the architecture lacks race-free atomics.  Serial mode runs the hot group
+to completion, then the cold group, sharing one output buffer (no merge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.heterogeneous import Architecture
+from repro.core.partition import ExecutionMode
+from repro.core.traits import WorkerKind
+from repro.sim.memory import allocate_rates
+from repro.sim.worker_sim import InstancePlan, build_plans
+from repro.sparse.tiling import TiledMatrix
+
+__all__ = ["GroupStats", "SimResult", "simulate", "simulate_homogeneous"]
+
+_EPS = 1e-18
+_CACHE_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Per-worker-type statistics of one simulated execution."""
+
+    instances: int
+    nnz: int
+    flops: float
+    bytes: float
+    busy_s: float  #: completion time of the group's slowest instance
+
+    @property
+    def busy_gflops(self) -> float:
+        """GFLOP/s over the period the group is not idle (Table VII)."""
+        return self.flops / self.busy_s / 1e9 if self.busy_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulated SpMM execution."""
+
+    time_s: float  #: makespan including the merge pass
+    merge_time_s: float
+    mode: ExecutionMode
+    hot: GroupStats
+    cold: GroupStats
+    #: piecewise-constant aggregate memory draw: (interval end time s,
+    #: bytes/s during the interval), merge pass included.
+    bandwidth_profile: Tuple[Tuple[float, float], ...] = ()
+
+    @property
+    def bytes_total(self) -> float:
+        return self.hot.bytes + self.cold.bytes
+
+    @property
+    def bandwidth_utilization_bytes_per_sec(self) -> float:
+        """Average achieved memory bandwidth over the run (Table VII)."""
+        return self.bytes_total / self.time_s if self.time_s > 0 else 0.0
+
+    def cache_lines_per_nnz(self, nnz: int) -> float:
+        """Cache lines fetched from memory per nonzero (Table VII)."""
+        return self.bytes_total / _CACHE_LINE_BYTES / nnz if nnz else 0.0
+
+
+def simulate(
+    arch: Architecture,
+    tiled: TiledMatrix,
+    assignment: np.ndarray,
+    mode: ExecutionMode = ExecutionMode.PARALLEL,
+    untiled_block_rows: Optional[int] = None,
+) -> SimResult:
+    """Simulate one execution of ``tiled`` under ``assignment``.
+
+    ``assignment[i]`` True sends tile ``i`` to the hot workers.  In
+    parallel mode both groups run concurrently and a merge pass is added
+    when both produced output on a non-atomic architecture; in serial mode
+    the groups run back to back with no merge.  ``untiled_block_rows``
+    overrides the row-block scheduling granularity of untiled workers.
+    """
+    hot_plans, cold_plans = build_plans(arch, tiled, assignment, untiled_block_rows)
+    if mode is ExecutionMode.PARALLEL:
+        makespan, completions, profile = _run_fluid(arch, hot_plans + cold_plans)
+        hot_stats = _group_stats(hot_plans, completions[: len(hot_plans)])
+        cold_stats = _group_stats(cold_plans, completions[len(hot_plans) :])
+        merge = 0.0
+        if hot_plans and cold_plans and not arch.atomic_updates:
+            merge = arch.merge_time_s(tiled.matrix.n_rows)
+            profile = profile + ((makespan + merge, arch.mem_bw_bytes_per_sec),)
+        return SimResult(
+            time_s=makespan + merge,
+            merge_time_s=merge,
+            mode=mode,
+            hot=hot_stats,
+            cold=cold_stats,
+            bandwidth_profile=profile,
+        )
+    hot_span, hot_completions, hot_profile = _run_fluid(arch, hot_plans)
+    cold_span, cold_completions, cold_profile = _run_fluid(arch, cold_plans)
+    shifted = tuple((t + hot_span, bw) for t, bw in cold_profile)
+    return SimResult(
+        time_s=hot_span + cold_span,
+        merge_time_s=0.0,
+        mode=mode,
+        hot=_group_stats(hot_plans, hot_completions),
+        cold=_group_stats(cold_plans, cold_completions),
+        bandwidth_profile=hot_profile + shifted,
+    )
+
+
+def simulate_homogeneous(
+    arch: Architecture, tiled: TiledMatrix, kind: WorkerKind
+) -> SimResult:
+    """HotOnly / ColdOnly execution: every tile on one worker type."""
+    assignment = np.full(tiled.n_tiles, kind is WorkerKind.HOT, dtype=bool)
+    return simulate(arch, tiled, assignment, ExecutionMode.PARALLEL)
+
+
+# ----------------------------------------------------------------------
+def _group_stats(plans: List[InstancePlan], completions: np.ndarray) -> GroupStats:
+    return GroupStats(
+        instances=len(plans),
+        nnz=int(sum(p.nnz_total for p in plans)),
+        flops=float(sum(p.flops_total for p in plans)),
+        bytes=float(sum(p.bytes_total for p in plans)),
+        busy_s=float(completions.max()) if len(plans) else 0.0,
+    )
+
+
+def _run_fluid(
+    arch: Architecture, plans: List[InstancePlan]
+) -> Tuple[float, np.ndarray, Tuple[Tuple[float, float], ...]]:
+    """Advance all instances to completion.
+
+    Returns ``(makespan, completions, bandwidth_profile)`` where the
+    profile is a piecewise-constant series of (interval end, aggregate
+    bytes/s) pairs -- the "bandwidth over time" view of the run."""
+    n = len(plans)
+    completions = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return 0.0, completions, ()
+
+    phase_lists = [[p for c in plan.chunks for p in c.phases] for plan in plans]
+    phase_idx = np.zeros(n, dtype=np.int64)
+    c_rem = np.zeros(n, dtype=np.float64)
+    b_rem = np.zeros(n, dtype=np.float64)
+    done = np.zeros(n, dtype=bool)
+    max_rates = np.array([p.traits.mem_rate_bytes_per_sec() for p in plans])
+    pcie_mask = None
+    if arch.pcie_bw_bytes_per_sec is not None:
+        pcie_mask = np.array([p.kind is WorkerKind.HOT for p in plans], dtype=bool)
+
+    for i in range(n):
+        if not _load_next_phase(phase_lists, phase_idx, c_rem, b_rem, i):
+            done[i] = True  # instance scheduled with no work
+
+    t = 0.0
+    profile: List[Tuple[float, float]] = []
+    bw = arch.mem_bw_bytes_per_sec
+    # Each iteration retires at least one sub-completion; bounded by the
+    # total number of phases times two.
+    max_iters = 4 * sum(len(pl) for pl in phase_lists) + 4 * n + 16
+    for _ in range(max_iters):
+        if done.all():
+            break
+        caps = np.where(~done & (b_rem > _EPS), max_rates, 0.0)
+        rates = allocate_rates(caps, bw, pcie_mask, arch.pcie_bw_bytes_per_sec)
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_mem = np.where(rates > 0, b_rem / np.maximum(rates, _EPS), np.inf)
+        t_mem = np.where(~done & (b_rem > _EPS), t_mem, np.inf)
+        t_comp = np.where(~done & (c_rem > _EPS), c_rem, np.inf)
+        dt = float(min(t_mem.min(), t_comp.min()))
+        if not np.isfinite(dt):
+            raise RuntimeError("fluid engine stalled: active work but no progress")
+        t += dt
+        profile.append((t, float(rates.sum())))
+        active = ~done
+        b_rem[active] = np.maximum(b_rem[active] - rates[active] * dt, 0.0)
+        c_rem[active] = np.maximum(c_rem[active] - dt, 0.0)
+
+        finished = active & (b_rem <= _EPS) & (c_rem <= _EPS)
+        for i in np.flatnonzero(finished):
+            if _load_next_phase(phase_lists, phase_idx, c_rem, b_rem, int(i)):
+                continue
+            done[i] = True
+            completions[i] = t
+    else:
+        raise RuntimeError("fluid engine exceeded its iteration budget")
+    return t, completions, tuple(profile)
+
+
+def _load_next_phase(
+    phase_lists: List[List[Tuple[float, float]]],
+    phase_idx: np.ndarray,
+    c_rem: np.ndarray,
+    b_rem: np.ndarray,
+    i: int,
+) -> bool:
+    """Load instance ``i``'s next non-empty phase; False when exhausted."""
+    phases = phase_lists[i]
+    while phase_idx[i] < len(phases):
+        c, b = phases[phase_idx[i]]
+        phase_idx[i] += 1
+        if c > _EPS or b > _EPS:
+            c_rem[i] = c
+            b_rem[i] = b
+            return True
+    return False

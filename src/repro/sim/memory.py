@@ -1,0 +1,90 @@
+"""Max-min fair bandwidth allocation (the shared memory subsystem).
+
+At every simulator event the active workers demand memory bandwidth up to
+their own maximum draw rate.  The memory controllers are a shared,
+capacity-``BW`` resource; the PCIe link in front of an off-chip worker
+group is a second, narrower resource crossed only by that group's traffic.
+Rates are assigned by progressive filling (water-filling): all unfrozen
+users rise together until one hits its own cap or a resource it crosses is
+exhausted, which is the classic max-min fair allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["allocate_rates"]
+
+
+def allocate_rates(
+    caps: np.ndarray,
+    bw_bytes_per_sec: float,
+    pcie_members: Optional[np.ndarray] = None,
+    pcie_bw_bytes_per_sec: Optional[float] = None,
+) -> np.ndarray:
+    """Max-min fair memory rates for one simulator event.
+
+    Parameters
+    ----------
+    caps:
+        Per-user maximum draw rate in bytes/s; users with cap 0 are idle.
+    bw_bytes_per_sec:
+        Main memory bandwidth, shared by every user.
+    pcie_members:
+        Boolean mask of users whose traffic also crosses the PCIe link.
+    pcie_bw_bytes_per_sec:
+        PCIe link bandwidth (required when ``pcie_members`` has any user).
+
+    Returns the per-user allocated rates (bytes/s).
+    """
+    caps = np.asarray(caps, dtype=np.float64)
+    if caps.ndim != 1:
+        raise ValueError("caps must be a 1-D array")
+    if np.any(caps < 0):
+        raise ValueError("rate caps must be non-negative")
+    if bw_bytes_per_sec <= 0:
+        raise ValueError("bandwidth must be positive")
+
+    n = caps.shape[0]
+    rates = np.zeros(n, dtype=np.float64)
+    unfrozen = caps > 0
+
+    resources = [(np.ones(n, dtype=bool), float(bw_bytes_per_sec))]
+    if pcie_members is not None and np.any(pcie_members):
+        if pcie_bw_bytes_per_sec is None or pcie_bw_bytes_per_sec <= 0:
+            raise ValueError("pcie_bw_bytes_per_sec required for PCIe members")
+        resources.append((np.asarray(pcie_members, dtype=bool), float(pcie_bw_bytes_per_sec)))
+
+    remaining = [cap for _, cap in resources]
+    while np.any(unfrozen):
+        # Largest uniform rate increase every unfrozen user can take.
+        delta = float(np.min(caps[unfrozen] - rates[unfrozen]))
+        limiting: list[int] = []
+        for ri, (members, _) in enumerate(resources):
+            users = int(np.count_nonzero(unfrozen & members))
+            if users == 0:
+                continue
+            headroom = remaining[ri] / users
+            if headroom < delta - 1e-18:
+                delta = headroom
+                limiting = [ri]
+            elif abs(headroom - delta) <= 1e-18:
+                limiting.append(ri)
+        if delta < 0:
+            delta = 0.0
+        rates[unfrozen] += delta
+        for ri, (members, _) in enumerate(resources):
+            remaining[ri] -= delta * int(np.count_nonzero(unfrozen & members))
+        # Freeze users that reached their own cap ...
+        unfrozen &= rates < caps - 1e-18
+        # ... and all users of any exhausted resource.
+        for ri in limiting:
+            unfrozen &= ~resources[ri][0]
+    return rates
+
+
+def total_demand(caps: Sequence[float]) -> float:
+    """Aggregate demand, for diagnostics."""
+    return float(np.sum(np.asarray(caps, dtype=np.float64)))

@@ -1,0 +1,36 @@
+"""Sparse-matrix substrate for the HotTiles reproduction.
+
+This package provides everything the modeling and simulation layers need
+from a sparse matrix:
+
+- :class:`~repro.sparse.matrix.SparseMatrix` -- an immutable COO/CSR
+  container with a reference SpMM implementation,
+- :class:`~repro.sparse.tiling.TiledMatrix` -- the tile decomposition with
+  the per-tile statistics consumed by the analytical model
+  (``tile_nnzs``, ``tile_uniq_rids``, ``tile_uniq_cids``),
+- MatrixMarket I/O (:mod:`repro.sparse.mmio`),
+- synthetic matrix generators standing in for the SuiteSparse benchmarks
+  (:mod:`repro.sparse.generators`),
+- intra-matrix-heterogeneity statistics (:mod:`repro.sparse.stats`), and
+- reordering utilities (:mod:`repro.sparse.reorder`).
+"""
+
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.tiling import TiledMatrix, TileStats
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+from repro.sparse import generators, stats, reorder, semiring
+from repro.sparse.semiring import Semiring, gspmm
+
+__all__ = [
+    "SparseMatrix",
+    "TiledMatrix",
+    "TileStats",
+    "read_matrix_market",
+    "write_matrix_market",
+    "generators",
+    "stats",
+    "reorder",
+    "semiring",
+    "Semiring",
+    "gspmm",
+]

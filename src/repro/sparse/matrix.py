@@ -1,0 +1,323 @@
+"""Immutable sparse-matrix container used throughout the reproduction.
+
+The HotTiles pipeline only needs a handful of sparse-matrix capabilities:
+canonical COO storage (row-major sorted, deduplicated), CSR views, a
+reference SpMM for correctness checks, and cheap structural queries
+(degrees, density).  ``scipy.sparse`` would provide these, but the paper's
+software stack generates custom accelerator formats from raw index arrays,
+so we keep the representation explicit and dependency-light.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SparseMatrix"]
+
+
+class SparseMatrix:
+    """A 2-D sparse matrix in canonical COO form.
+
+    The nonzeros are stored row-major sorted (primary key ``row``, secondary
+    key ``col``) with duplicates summed.  Instances are treated as immutable:
+    the underlying arrays are flagged non-writeable and every transformation
+    returns a new object.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Matrix dimensions.
+    rows, cols:
+        Integer coordinate arrays of equal length.
+    vals:
+        Nonzero values; if omitted, all values are 1.0 (pattern matrix).
+    dtype:
+        Floating-point dtype for the values (``float32`` for the
+        SPADE-Sextans experiments, ``float64`` for PIUMA, as in the paper).
+    """
+
+    __slots__ = ("n_rows", "n_cols", "rows", "cols", "vals", "_indptr")
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: Optional[np.ndarray] = None,
+        dtype: np.dtype = np.float32,
+    ) -> None:
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError(f"matrix dimensions must be non-negative, got {n_rows}x{n_cols}")
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.ndim != 1 or cols.ndim != 1 or rows.shape != cols.shape:
+            raise ValueError("rows and cols must be 1-D arrays of equal length")
+        if vals is None:
+            vals = np.ones(rows.shape[0], dtype=dtype)
+        else:
+            vals = np.asarray(vals, dtype=dtype)
+            if vals.shape != rows.shape:
+                raise ValueError("vals must have the same length as rows/cols")
+        if rows.size:
+            if rows.min(initial=0) < 0 or cols.min(initial=0) < 0:
+                raise ValueError("negative indices are not allowed")
+            if rows.max(initial=-1) >= n_rows or cols.max(initial=-1) >= n_cols:
+                raise ValueError(
+                    f"index out of range for a {n_rows}x{n_cols} matrix "
+                    f"(max row {rows.max()}, max col {cols.max()})"
+                )
+        rows, cols, vals = _canonicalize(n_rows, n_cols, rows, cols, vals)
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.rows = rows
+        self.cols = cols
+        self.vals = vals
+        self._indptr: Optional[np.ndarray] = None
+        for arr in (self.rows, self.cols, self.vals):
+            arr.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, dtype: np.dtype = np.float32) -> "SparseMatrix":
+        """Build from a dense 2-D array, keeping exact nonzeros."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        rows, cols = np.nonzero(dense)
+        return cls(dense.shape[0], dense.shape[1], rows, cols, dense[rows, cols], dtype=dtype)
+
+    @classmethod
+    def from_csr(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        vals: Optional[np.ndarray] = None,
+        dtype: np.dtype = np.float32,
+    ) -> "SparseMatrix":
+        """Build from CSR arrays (``indptr`` of length ``n_rows + 1``)."""
+        indptr = np.asarray(indptr, dtype=np.int64)
+        if indptr.shape != (n_rows + 1,):
+            raise ValueError(f"indptr must have length n_rows + 1 = {n_rows + 1}")
+        if indptr[0] != 0 or np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must start at 0 and be non-decreasing")
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr[-1] != indices.shape[0]:
+            raise ValueError("indptr[-1] must equal len(indices)")
+        rows = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(indptr))
+        return cls(n_rows, n_cols, rows, indices, vals, dtype=dtype)
+
+    @classmethod
+    def identity(cls, n: int, dtype: np.dtype = np.float32) -> "SparseMatrix":
+        """The ``n x n`` identity matrix."""
+        idx = np.arange(n, dtype=np.int64)
+        return cls(n, n, idx, idx, np.ones(n, dtype=dtype), dtype=dtype)
+
+    @classmethod
+    def empty(cls, n_rows: int, n_cols: int, dtype: np.dtype = np.float32) -> "SparseMatrix":
+        """A matrix with no nonzeros."""
+        z = np.zeros(0, dtype=np.int64)
+        return cls(n_rows, n_cols, z, z, np.zeros(0, dtype=dtype), dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.rows.shape[0])
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.vals.dtype
+
+    @property
+    def density(self) -> float:
+        """Fraction of cells that hold a nonzero (0 for empty shapes)."""
+        cells = self.n_rows * self.n_cols
+        return self.nnz / cells if cells else 0.0
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of nonzeros in each row."""
+        return np.bincount(self.rows, minlength=self.n_rows).astype(np.int64)
+
+    def col_degrees(self) -> np.ndarray:
+        """Number of nonzeros in each column."""
+        return np.bincount(self.cols, minlength=self.n_cols).astype(np.int64)
+
+    def to_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(indptr, indices, vals)`` CSR views of this matrix."""
+        return self.indptr(), self.cols, self.vals
+
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array (cached; nonzeros are already row-sorted)."""
+        if self._indptr is None:
+            counts = np.bincount(self.rows, minlength=self.n_rows)
+            indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            indptr.flags.writeable = False
+            self._indptr = indptr
+        return self._indptr
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense array (use on small matrices only)."""
+        out = np.zeros(self.shape, dtype=self.vals.dtype)
+        out[self.rows, self.cols] = self.vals
+        return out
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "SparseMatrix":
+        """The transposed matrix."""
+        return SparseMatrix(
+            self.n_cols, self.n_rows, self.cols, self.rows, self.vals, dtype=self.vals.dtype
+        )
+
+    def astype(self, dtype: np.dtype) -> "SparseMatrix":
+        """Copy with values cast to ``dtype``."""
+        return SparseMatrix(
+            self.n_rows, self.n_cols, self.rows, self.cols, self.vals.astype(dtype), dtype=dtype
+        )
+
+    def permute(
+        self, row_perm: Optional[np.ndarray] = None, col_perm: Optional[np.ndarray] = None
+    ) -> "SparseMatrix":
+        """Apply row/column permutations.
+
+        ``row_perm[i]`` gives the *new* index of old row ``i`` (and likewise
+        for columns), i.e. the scatter convention used by reordering
+        algorithms.
+        """
+        rows, cols = self.rows, self.cols
+        if row_perm is not None:
+            row_perm = _check_perm(row_perm, self.n_rows, "row_perm")
+            rows = row_perm[rows]
+        if col_perm is not None:
+            col_perm = _check_perm(col_perm, self.n_cols, "col_perm")
+            cols = col_perm[cols]
+        return SparseMatrix(self.n_rows, self.n_cols, rows, cols, self.vals, dtype=self.vals.dtype)
+
+    def select_nonzeros(self, mask: np.ndarray) -> "SparseMatrix":
+        """Keep only the nonzeros selected by a boolean mask (same shape)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.rows.shape:
+            raise ValueError("mask must have one entry per nonzero")
+        return SparseMatrix(
+            self.n_rows,
+            self.n_cols,
+            self.rows[mask],
+            self.cols[mask],
+            self.vals[mask],
+            dtype=self.vals.dtype,
+        )
+
+    def symmetrized(self) -> "SparseMatrix":
+        """Return ``A + A^T`` pattern-wise (values summed on collisions)."""
+        rows = np.concatenate([self.rows, self.cols])
+        cols = np.concatenate([self.cols, self.rows])
+        vals = np.concatenate([self.vals, self.vals])
+        return SparseMatrix(
+            max(self.n_rows, self.n_cols),
+            max(self.n_rows, self.n_cols),
+            rows,
+            cols,
+            vals,
+            dtype=self.vals.dtype,
+        )
+
+    def without_diagonal(self) -> "SparseMatrix":
+        """Drop nonzeros on the main diagonal."""
+        return self.select_nonzeros(self.rows != self.cols)
+
+    # ------------------------------------------------------------------
+    # Reference kernels
+    # ------------------------------------------------------------------
+    def spmm(self, dense: np.ndarray) -> np.ndarray:
+        """Reference SpMM: ``A @ Din`` for a dense ``Din`` of shape (n_cols, K).
+
+        This is the functional ground truth used by the tests to verify that
+        the accelerator formats generated by :mod:`repro.pipeline.formats`
+        preserve the computation.
+        """
+        dense = np.asarray(dense)
+        if dense.ndim != 2 or dense.shape[0] != self.n_cols:
+            raise ValueError(
+                f"dense input must have shape ({self.n_cols}, K), got {dense.shape}"
+            )
+        out = np.zeros((self.n_rows, dense.shape[1]), dtype=np.result_type(self.vals, dense))
+        np.add.at(out, self.rows, self.vals[:, None] * dense[self.cols])
+        return out
+
+    def spmv(self, vec: np.ndarray) -> np.ndarray:
+        """Reference SpMV: ``A @ x``."""
+        vec = np.asarray(vec)
+        if vec.shape != (self.n_cols,):
+            raise ValueError(f"vector must have shape ({self.n_cols},), got {vec.shape}")
+        return self.spmm(vec[:, None])[:, 0]
+
+    # ------------------------------------------------------------------
+    # Dunder support
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"SparseMatrix(shape={self.n_rows}x{self.n_cols}, nnz={self.nnz}, "
+            f"density={self.density:.2e}, dtype={self.vals.dtype})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and self.nnz == other.nnz
+            and bool(np.array_equal(self.rows, other.rows))
+            and bool(np.array_equal(self.cols, other.cols))
+            and bool(np.array_equal(self.vals, other.vals))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+
+def _canonicalize(
+    n_rows: int, n_cols: int, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort nonzeros row-major and sum duplicate coordinates."""
+    if rows.size == 0:
+        return rows.copy(), cols.copy(), vals.copy()
+    keys = rows * np.int64(n_cols) + cols
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    vals = vals[order]
+    unique_mask = np.empty(keys.shape[0], dtype=bool)
+    unique_mask[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=unique_mask[1:])
+    if unique_mask.all():
+        return rows[order], cols[order], vals.copy()
+    group_ids = np.cumsum(unique_mask) - 1
+    summed = np.zeros(int(group_ids[-1]) + 1, dtype=vals.dtype)
+    np.add.at(summed, group_ids, vals)
+    keys = keys[unique_mask]
+    return keys // n_cols, keys % n_cols, summed
+
+
+def _check_perm(perm: np.ndarray, n: int, name: str) -> np.ndarray:
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.shape != (n,):
+        raise ValueError(f"{name} must have length {n}")
+    seen = np.zeros(n, dtype=bool)
+    seen[perm] = True
+    if not seen.all():
+        raise ValueError(f"{name} is not a permutation of 0..{n - 1}")
+    return perm

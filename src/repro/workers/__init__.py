@@ -1,0 +1,28 @@
+"""Worker (PE) factories for the accelerators used in the paper.
+
+Table III of the paper:
+
+=============  =====  =============  ====================  ====================
+Worker         Type   Sparse format  *Din* reuse           *Dout* reuse
+=============  =====  =============  ====================  ====================
+SPADE PE       Cold   COO-like       None                  Inter-tile
+Sextans        Hot    COO-like       Intra-tile (stream)   Inter-tile
+PIUMA MTP      Cold   CSR-like       None                  Inter-tile
+PIUMA STP      Hot    CSR-like       Intra-tile (stream)   Intra-tile (demand)
+=============  =====  =============  ====================  ====================
+"""
+
+from repro.workers.spade import spade_pe
+from repro.workers.sextans import sextans, sextans_enhanced
+from repro.workers.piuma import piuma_mtp, piuma_stp
+from repro.workers.registry import WORKER_FACTORIES, make_worker
+
+__all__ = [
+    "spade_pe",
+    "sextans",
+    "sextans_enhanced",
+    "piuma_mtp",
+    "piuma_stp",
+    "WORKER_FACTORIES",
+    "make_worker",
+]

@@ -1,0 +1,105 @@
+"""PIUMA pipelines (Intel's graph-analytics architecture).
+
+PIUMA [Aananthakrishnan et al., IEEE Micro'23] combines Multi-Threaded
+Pipelines (MTPs, cold: fine-grained round-robin multithreading tolerates
+memory latency) and Single-Threaded Pipelines (STPs, hot: simple in-order
+cores which the paper equips with scratchpads and DMA engines).  Both run
+the same custom RISC ISA; the Atomic engine lets both types read-modify-
+write the same *Dout* locations without data races, so PIUMA always runs
+the worker types in parallel with ``t_merge = 0`` (Sec. VI-A(c)).
+
+The PIUMA experiments use double-precision values (Sec. VII-A) and
+CSR-like sparse formats: untiled CSR on the MTPs, tiled CSR on the STPs.
+"""
+
+from __future__ import annotations
+
+from repro.core.traits import (
+    OVERLAP_FULL,
+    ReuseType,
+    SparseFormat,
+    Task,
+    Traversal,
+    WorkerKind,
+    WorkerTraits,
+)
+
+__all__ = ["piuma_mtp", "piuma_stp"]
+
+PIUMA_FREQUENCY_GHZ = 1.0
+
+#: fp64 SIMD lanes of both pipeline types.
+PIUMA_SIMD_WIDTH = 8
+
+MTP_MACS_PER_CYCLE = 0.5
+#: STP + DMA hot worker: modestly higher compute than an MTP.  The paper
+#: notes the hot/cold throughput ratio in PIUMA is much smaller than in
+#: SPADE-Sextans, which is why HotOnly is only slightly better than
+#: ColdOnly on the dense ``myc`` matrix there (Sec. VIII-A).
+STP_MACS_PER_CYCLE = 1.5
+
+MTP_MEM_BYTES_PER_CYCLE = 16.0
+#: STP DMA engines move full tiles near memory at a high streaming rate.
+STP_MEM_BYTES_PER_CYCLE = 48.0
+
+MTP_DEFAULT_VIS_LAT = 1.5e-10
+STP_DEFAULT_VIS_LAT = 3.0e-11
+
+#: STPs overlap DMA traffic (dense tiles) with compute, but the in-order
+#: pipeline blocks on its on-demand sparse-input reads.
+STP_OVERLAP_GROUPS = (
+    frozenset({Task.DIN_READ, Task.DOUT_READ, Task.DOUT_WRITE, Task.COMPUTE}),
+    frozenset({Task.SPARSE_READ}),
+)
+
+
+def piuma_mtp(cache_bytes: int = 2048, vis_lat: float = MTP_DEFAULT_VIS_LAT) -> WorkerTraits:
+    """One PIUMA Multi-Threaded Pipeline (cold worker)."""
+    return WorkerTraits(
+        name="piuma-mtp",
+        kind=WorkerKind.COLD,
+        macs_per_cycle=MTP_MACS_PER_CYCLE,
+        simd_width=PIUMA_SIMD_WIDTH,
+        frequency_ghz=PIUMA_FREQUENCY_GHZ,
+        din_reuse=ReuseType.NONE,
+        dout_reuse=ReuseType.INTER_TILE,
+        dout_first_tile_reuse=ReuseType.INTRA_TILE_DEMAND,
+        sparse_format=SparseFormat.CSR_LIKE,
+        traversal=Traversal.UNTILED_ROW_ORDERED,
+        overlap_groups=OVERLAP_FULL,
+        vis_lat_s_per_byte=vis_lat,
+        mem_bytes_per_cycle=MTP_MEM_BYTES_PER_CYCLE,
+        scratchpad_bytes=None,
+        cache_bytes=cache_bytes,
+    )
+
+
+def piuma_stp(
+    matrix_scale_divisor: int = 64,
+    dense_row_bytes: int = 256,
+    vis_lat: float = STP_DEFAULT_VIS_LAT,
+) -> WorkerTraits:
+    """One PIUMA Single-Threaded Pipeline with scratchpad + DMA (hot worker).
+
+    The scratchpad holds a double-buffered *Din* tile of the scaled tile
+    width (DESIGN.md Sec. 6), mirroring how the paper sizes tiles so that
+    no worker scratchpad overflows (Sec. IV).
+    """
+    tile_width = 8192 // matrix_scale_divisor
+    scratchpad = 2 * tile_width * dense_row_bytes
+    return WorkerTraits(
+        name="piuma-stp",
+        kind=WorkerKind.HOT,
+        macs_per_cycle=STP_MACS_PER_CYCLE,
+        simd_width=PIUMA_SIMD_WIDTH,
+        frequency_ghz=PIUMA_FREQUENCY_GHZ,
+        din_reuse=ReuseType.INTRA_TILE_STREAM,
+        dout_reuse=ReuseType.INTRA_TILE_DEMAND,
+        sparse_format=SparseFormat.CSR_LIKE,
+        traversal=Traversal.TILED_ROW_ORDERED,
+        overlap_groups=STP_OVERLAP_GROUPS,
+        vis_lat_s_per_byte=vis_lat,
+        mem_bytes_per_cycle=STP_MEM_BYTES_PER_CYCLE,
+        scratchpad_bytes=scratchpad,
+        cache_bytes=0,
+    )

@@ -1,0 +1,32 @@
+"""Name-based worker registry for the CLI and config files."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.traits import WorkerTraits
+from repro.workers.piuma import piuma_mtp, piuma_stp
+from repro.workers.sextans import sextans, sextans_enhanced
+from repro.workers.spade import spade_pe
+
+__all__ = ["WORKER_FACTORIES", "make_worker"]
+
+#: Registered factories.  Each returns a :class:`WorkerTraits` with default
+#: parameters; keyword arguments are forwarded.
+WORKER_FACTORIES: Dict[str, Callable[..., WorkerTraits]] = {
+    "spade-pe": spade_pe,
+    "sextans": sextans,
+    "sextans-enhanced": sextans_enhanced,
+    "piuma-mtp": piuma_mtp,
+    "piuma-stp": piuma_stp,
+}
+
+
+def make_worker(name: str, **kwargs) -> WorkerTraits:
+    """Instantiate a registered worker type by name."""
+    try:
+        factory = WORKER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKER_FACTORIES))
+        raise ValueError(f"unknown worker {name!r}; known workers: {known}") from None
+    return factory(**kwargs)

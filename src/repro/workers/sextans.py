@@ -1,0 +1,121 @@
+"""Sextans-like streaming PEs (hot workers).
+
+Sextans [Song et al., FPGA'22] streams both sparse and dense structures and
+keeps dense tiles in large scratchpads: full *Din* tiles are streamed in
+before processing a sparse tile (intra-tile stream reuse) and *Dout* tiles
+stay resident across a row panel (inter-tile reuse, streamed on the panel's
+first tile and written back once).  High SIMD throughput, tiled row-ordered
+COO traversal (Fig. 6(b)).
+
+Table IV scales the Sextans worker: ``5 * scale`` SIMD MACs/cycle and
+``0.5 * scale`` MB of scratchpad (before the benchmark-matrix scaling of
+DESIGN.md Sec. 6).
+"""
+
+from __future__ import annotations
+
+from repro.core.traits import (
+    OVERLAP_FULL,
+    ReuseType,
+    SparseFormat,
+    Traversal,
+    WorkerKind,
+    WorkerTraits,
+)
+
+__all__ = ["sextans", "sextans_enhanced", "sextans_tile_width"]
+
+SEXTANS_FREQUENCY_GHZ = 0.8
+
+#: SIMD lanes per MAC: one K=32 row per SIMD op.
+SEXTANS_SIMD_WIDTH = 32
+
+#: Table IV: SIMD MACs/cycle at system scale 1.
+SEXTANS_BASE_MACS_PER_CYCLE = 5.0
+
+#: Table IV: scratchpad bytes at system scale 1 (0.5 MB), before the
+#: benchmark matrix scale divisor is applied.
+SEXTANS_BASE_SCRATCHPAD_BYTES = 512 * 1024
+
+#: Streaming memory draw (bytes/cycle) at system scale 1.  Scales with the
+#: system scale so that the scale-4 Sextans alone can saturate the 205 GB/s
+#: controllers (the paper's HotOnly runs are bandwidth-bound at the base
+#: scale), matching the bandwidth-utilization trend of Fig. 12.
+SEXTANS_BASE_MEM_BYTES_PER_CYCLE = 64.0
+
+SEXTANS_DEFAULT_VIS_LAT = 1.0e-11
+
+
+def sextans(
+    system_scale: float = 4,
+    matrix_scale_divisor: int = 64,
+    vis_lat: float = SEXTANS_DEFAULT_VIS_LAT,
+) -> WorkerTraits:
+    """The Sextans hot worker at a given Table IV system scale."""
+    if system_scale <= 0:
+        raise ValueError("system_scale must be positive")
+    scratchpad = int(SEXTANS_BASE_SCRATCHPAD_BYTES * system_scale) // matrix_scale_divisor
+    return WorkerTraits(
+        name=f"sextans-x{system_scale:g}",
+        kind=WorkerKind.HOT,
+        macs_per_cycle=SEXTANS_BASE_MACS_PER_CYCLE * system_scale,
+        simd_width=SEXTANS_SIMD_WIDTH,
+        frequency_ghz=SEXTANS_FREQUENCY_GHZ,
+        din_reuse=ReuseType.INTRA_TILE_STREAM,
+        dout_reuse=ReuseType.INTER_TILE,
+        dout_first_tile_reuse=ReuseType.INTRA_TILE_STREAM,
+        sparse_format=SparseFormat.COO_LIKE,
+        traversal=Traversal.TILED_ROW_ORDERED,
+        overlap_groups=OVERLAP_FULL,
+        vis_lat_s_per_byte=vis_lat,
+        mem_bytes_per_cycle=SEXTANS_BASE_MEM_BYTES_PER_CYCLE * system_scale,
+        scratchpad_bytes=scratchpad,
+        cache_bytes=0,
+    )
+
+
+def sextans_enhanced(
+    nnz_per_cycle: float = 20.0,
+    system_scale: float = 4,
+    matrix_scale_divisor: int = 64,
+    vis_lat: float = SEXTANS_DEFAULT_VIS_LAT,
+) -> WorkerTraits:
+    """The enhanced off-chip Sextans of the SPADE-Sextans+PCIe study.
+
+    Processes ``nnz_per_cycle`` nonzeros per cycle *regardless of the
+    kernel's arithmetic intensity* (Sec. VII-A), modeling the assumption
+    that the PCIe-attached accelerator grows its compute power with the
+    gSpMM operation count.
+    """
+    base = sextans(system_scale, matrix_scale_divisor, vis_lat)
+    return WorkerTraits(
+        name=f"sextans-pcie-{nnz_per_cycle:g}nnz",
+        kind=WorkerKind.HOT,
+        macs_per_cycle=base.macs_per_cycle,
+        simd_width=base.simd_width,
+        frequency_ghz=base.frequency_ghz,
+        din_reuse=base.din_reuse,
+        dout_reuse=base.dout_reuse,
+        dout_first_tile_reuse=base.dout_first_tile_reuse,
+        sparse_format=base.sparse_format,
+        traversal=base.traversal,
+        overlap_groups=base.overlap_groups,
+        fixed_nnz_per_cycle=nnz_per_cycle,
+        vis_lat_s_per_byte=vis_lat,
+        mem_bytes_per_cycle=base.mem_bytes_per_cycle,
+        scratchpad_bytes=base.scratchpad_bytes,
+        cache_bytes=0,
+    )
+
+
+def sextans_tile_width(worker: WorkerTraits, dense_row_bytes: int) -> int:
+    """Tile width supported by a Sextans scratchpad (double-buffered)."""
+    if worker.scratchpad_bytes is None:
+        raise ValueError("worker has no scratchpad")
+    width = worker.scratchpad_bytes // (2 * dense_row_bytes)
+    if width <= 0:
+        raise ValueError(
+            f"scratchpad of {worker.scratchpad_bytes} B cannot hold two rows "
+            f"of {dense_row_bytes} B"
+        )
+    return int(width)

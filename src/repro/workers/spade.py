@@ -1,0 +1,80 @@
+"""SPADE processing elements (cold workers).
+
+SPADE PEs [Gerogiannis et al., ISCA'23] are lightweight out-of-order
+non-speculative vector engines.  Following the paper's simplified
+configuration (Sec. VI-A) each PE has a private L1 and a Bypass Buffer:
+the sparse input and *Dout* go through the BBF, *Din* through the L1.
+SPADE PEs use an untiled row-ordered traversal (Fig. 6(a)) over an untiled
+COO format, processing chunks of contiguous sparse-matrix rows.
+
+Model-facing traits: *Din* reuse ``NONE`` (the analytical model ignores the
+L1, Sec. IV-C), *Dout* reuse ``INTER_TILE`` with a demand-type first-tile
+charge (each distinct r_id fetches its *Dout* row once per row panel), full
+task overlap thanks to the out-of-order pipeline.
+
+Simulator-facing traits: the L1 capacity is honored as a demand-reuse
+cache for *Din*, which is exactly the reuse the model misses and the
+source of the ColdOnly prediction error in Fig. 17.
+"""
+
+from __future__ import annotations
+
+from repro.core.traits import (
+    OVERLAP_FULL,
+    ReuseType,
+    SparseFormat,
+    Traversal,
+    WorkerKind,
+    WorkerTraits,
+)
+
+__all__ = ["spade_pe"]
+
+#: Paper Table IV: PE frequency of the SPADE-Sextans system.
+SPADE_FREQUENCY_GHZ = 0.8
+
+#: SIMD MAC issue rate per PE (Table IV: 1 SIMD MACs/cycle at every scale).
+SPADE_MACS_PER_CYCLE = 1.0
+
+#: SIMD lanes per MAC; with K = 32 a nonzero costs 2 cycles.
+SPADE_SIMD_WIDTH = 16
+
+#: Maximum memory draw rate of one out-of-order PE (bytes/cycle).  Sixteen
+#: PEs at scale 4 then demand ~154 GB/s of the 205 GB/s controllers, leaving
+#: the system memory-bound like the paper's ColdOnly runs.
+SPADE_MEM_BYTES_PER_CYCLE = 12.0
+
+#: Default visible latency per byte before calibration (s/byte).
+SPADE_DEFAULT_VIS_LAT = 1.2e-10
+
+
+def spade_pe(l1_bytes: int = 4096, vis_lat: float = SPADE_DEFAULT_VIS_LAT) -> WorkerTraits:
+    """One SPADE PE (cold worker).
+
+    Parameters
+    ----------
+    l1_bytes:
+        Private L1 capacity used for *Din* demand reuse.  The default is
+        the paper's 32 kB scaled by the benchmark matrix scale (1/64),
+        floored at a size that still caches a few dense rows (DESIGN.md
+        Sec. 6).
+    vis_lat:
+        Visible latency per byte; overwritten by calibration.
+    """
+    return WorkerTraits(
+        name="spade-pe",
+        kind=WorkerKind.COLD,
+        macs_per_cycle=SPADE_MACS_PER_CYCLE,
+        simd_width=SPADE_SIMD_WIDTH,
+        frequency_ghz=SPADE_FREQUENCY_GHZ,
+        din_reuse=ReuseType.NONE,
+        dout_reuse=ReuseType.INTER_TILE,
+        dout_first_tile_reuse=ReuseType.INTRA_TILE_DEMAND,
+        sparse_format=SparseFormat.COO_LIKE,
+        traversal=Traversal.UNTILED_ROW_ORDERED,
+        overlap_groups=OVERLAP_FULL,
+        vis_lat_s_per_byte=vis_lat,
+        mem_bytes_per_cycle=SPADE_MEM_BYTES_PER_CYCLE,
+        scratchpad_bytes=None,
+        cache_bytes=l1_bytes,
+    )

@@ -1,0 +1,138 @@
+"""Concrete architecture configuration tests (Table IV encodings)."""
+
+import pytest
+
+from repro.arch.configs import (
+    MATRIX_SCALE_DIVISOR,
+    piuma,
+    spade_sextans,
+    spade_sextans_iso_scale,
+    spade_sextans_pcie,
+)
+from repro.core.traits import ReuseType, SparseFormat, Traversal, WorkerKind
+
+
+class TestSpadeSextans:
+    @pytest.mark.parametrize(
+        "scale,n_pes,macs,tile_w",
+        [(1, 4, 5, 32), (2, 8, 10, 64), (4, 16, 20, 128), (8, 32, 40, 256)],
+    )
+    def test_table_iv_scales(self, scale, n_pes, macs, tile_w):
+        arch = spade_sextans(scale)
+        assert arch.cold.count == n_pes
+        assert arch.hot.count == 1
+        assert arch.hot.traits.macs_per_cycle == pytest.approx(macs)
+        assert arch.tile_width == tile_w
+
+    def test_common_parameters(self):
+        arch = spade_sextans(4)
+        assert arch.mem_bw_gbs == pytest.approx(205.0)
+        assert arch.cold.traits.frequency_ghz == pytest.approx(0.8)
+        assert arch.tile_height == 8192 // MATRIX_SCALE_DIVISOR
+        assert not arch.atomic_updates
+        assert arch.pcie_bw_gbs is None
+        assert arch.problem.value_bytes == 4  # fp32 (Sec. VII-A)
+
+    def test_table_iii_reuse_types(self):
+        arch = spade_sextans(4)
+        spade, sextans = arch.cold.traits, arch.hot.traits
+        assert spade.din_reuse is ReuseType.NONE
+        assert spade.dout_reuse is ReuseType.INTER_TILE
+        assert spade.sparse_format is SparseFormat.COO_LIKE
+        assert spade.traversal is Traversal.UNTILED_ROW_ORDERED
+        assert sextans.din_reuse is ReuseType.INTRA_TILE_STREAM
+        assert sextans.dout_reuse is ReuseType.INTER_TILE
+        assert sextans.sparse_format is SparseFormat.COO_LIKE
+        assert sextans.traversal is Traversal.TILED_ROW_ORDERED
+
+    def test_kinds(self):
+        arch = spade_sextans(4)
+        assert arch.cold.traits.kind is WorkerKind.COLD
+        assert arch.hot.traits.kind is WorkerKind.HOT
+
+
+class TestIsoScale:
+    def test_symmetric_matches_plain(self):
+        assert spade_sextans_iso_scale(4, 4).name == spade_sextans(4).name
+
+    def test_skewed_counts(self):
+        arch = spade_sextans_iso_scale(3, 5)
+        assert arch.cold.count == 12
+        assert arch.hot.traits.macs_per_cycle == pytest.approx(25)
+
+    def test_no_hot_workers(self):
+        arch = spade_sextans_iso_scale(8, 0)
+        assert arch.hot.count == 0
+        assert arch.cold.count == 32
+        assert arch.tile_width == arch.tile_height  # free dimension
+
+    def test_no_cold_workers(self):
+        arch = spade_sextans_iso_scale(0, 8)
+        assert arch.cold.count == 0
+        assert arch.hot.traits.macs_per_cycle == pytest.approx(40)
+
+    def test_both_zero_rejected(self):
+        with pytest.raises(ValueError, match="not both zero"):
+            spade_sextans_iso_scale(0, 0)
+
+
+class TestPcie:
+    def test_pcie_link_present(self):
+        arch = spade_sextans_pcie(4)
+        assert arch.pcie_bw_gbs == pytest.approx(32.0)
+
+    def test_enhanced_sextans_fixed_rate(self):
+        arch = spade_sextans_pcie(4)
+        assert arch.hot.traits.fixed_nnz_per_cycle == pytest.approx(20.0)
+        # Intensity-independent compute (Sec. VII-A).
+        assert arch.hot.traits.cycles_per_nonzero(32, 16) == pytest.approx(
+            arch.hot.traits.cycles_per_nonzero(32, 1)
+        )
+
+    def test_ops_per_nnz_propagates(self):
+        arch = spade_sextans_pcie(4, ops_per_nnz=8)
+        assert arch.problem.ops_per_nnz == 8
+
+
+class TestPiuma:
+    def test_worker_mix(self):
+        arch = piuma()
+        assert arch.cold.count == 4  # MTPs
+        assert arch.hot.count == 2  # STPs
+
+    def test_atomic_updates(self):
+        assert piuma().atomic_updates
+
+    def test_double_precision(self):
+        arch = piuma()
+        assert arch.problem.value_bytes == 8
+        assert arch.problem.dense_row_bytes == 256
+
+    def test_table_iii_reuse_types(self):
+        arch = piuma()
+        mtp, stp = arch.cold.traits, arch.hot.traits
+        assert mtp.sparse_format is SparseFormat.CSR_LIKE
+        assert mtp.din_reuse is ReuseType.NONE
+        assert mtp.dout_reuse is ReuseType.INTER_TILE
+        assert stp.sparse_format is SparseFormat.CSR_LIKE
+        assert stp.din_reuse is ReuseType.INTRA_TILE_STREAM
+        assert stp.dout_reuse is ReuseType.INTRA_TILE_DEMAND
+
+    def test_hot_cold_throughput_ratio_below_spade_sextans(self):
+        """Paper Sec. VIII-A: the hot/cold compute ratio in PIUMA is
+        smaller than in SPADE-Sextans."""
+        pi = piuma()
+        ss = spade_sextans(4)
+
+        def ratio(arch):
+            k = arch.problem.k
+            hot = arch.hot.count * arch.hot.traits.nnz_throughput_per_sec(k)
+            cold = arch.cold.count * arch.cold.traits.nnz_throughput_per_sec(k)
+            return hot / cold
+
+        assert ratio(pi) < ratio(ss)
+
+    def test_stp_scratchpad_fits_tile(self):
+        arch = piuma()
+        stp = arch.hot.traits
+        assert stp.scratchpad_bytes >= arch.tile_width * arch.problem.dense_row_bytes

@@ -1,0 +1,99 @@
+"""Architecture abstraction tests."""
+
+import pytest
+
+from repro.arch.heterogeneous import Architecture, WorkerGroup
+from repro.core.problem import ProblemSpec
+from repro.core.traits import WorkerKind
+from tests.core.test_model import PROBLEM, cold_worker, hot_worker
+
+
+def make_arch(**overrides):
+    defaults = dict(
+        name="t",
+        hot=WorkerGroup(hot_worker(), 1),
+        cold=WorkerGroup(cold_worker(), 4),
+        mem_bw_gbs=100.0,
+        problem=PROBLEM,
+        tile_height=4,
+        tile_width=4,
+    )
+    defaults.update(overrides)
+    return Architecture(**defaults)
+
+
+class TestValidation:
+    def test_valid(self):
+        assert make_arch().tile_shape() == (4, 4)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WorkerGroup(cold_worker(), -1)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            make_arch(mem_bw_gbs=0)
+
+    def test_bad_pcie_rejected(self):
+        with pytest.raises(ValueError, match="PCIe"):
+            make_arch(pcie_bw_gbs=0)
+
+    def test_bad_tile_rejected(self):
+        with pytest.raises(ValueError, match="tile"):
+            make_arch(tile_height=0)
+
+    def test_no_workers_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            make_arch(
+                hot=WorkerGroup(hot_worker(), 0), cold=WorkerGroup(cold_worker(), 0)
+            )
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="hot group"):
+            make_arch(hot=WorkerGroup(cold_worker(), 1))
+        with pytest.raises(ValueError, match="cold group"):
+            make_arch(cold=WorkerGroup(hot_worker(), 1))
+
+
+class TestBehaviour:
+    def test_unit_conversions(self):
+        arch = make_arch(mem_bw_gbs=205.0, pcie_bw_gbs=32.0)
+        assert arch.mem_bw_bytes_per_sec == pytest.approx(205e9)
+        assert arch.pcie_bw_bytes_per_sec == pytest.approx(32e9)
+        assert make_arch().pcie_bw_bytes_per_sec is None
+
+    def test_group_lookup(self):
+        arch = make_arch()
+        assert arch.group(WorkerKind.HOT) is arch.hot
+        assert arch.group(WorkerKind.COLD) is arch.cold
+
+    def test_merge_time_three_passes(self):
+        arch = make_arch(mem_bw_gbs=100.0)
+        n_rows = 1000
+        expected = 3.0 * n_rows * PROBLEM.dense_row_bytes / 100e9
+        assert arch.merge_time_s(n_rows) == pytest.approx(expected)
+
+    def test_merge_time_zero_with_atomics(self):
+        assert make_arch(atomic_updates=True).merge_time_s(1000) == 0.0
+
+    def test_with_calibrated_keeps_counts(self):
+        arch = make_arch()
+        out = arch.with_calibrated(
+            arch.hot.traits.with_vis_lat(1e-12), arch.cold.traits.with_vis_lat(1e-12)
+        )
+        assert out.hot.count == arch.hot.count
+        assert out.cold.traits.vis_lat_s_per_byte == 1e-12
+
+    def test_with_problem(self):
+        arch = make_arch()
+        new = arch.with_problem(ProblemSpec(k=8, value_bytes=8, index_bytes=8))
+        assert new.problem.k == 8
+        assert new.tile_shape() == arch.tile_shape()
+
+    def test_group_peak_mem_rate(self):
+        group = WorkerGroup(cold_worker(mem_bytes_per_cycle=10.0, frequency_ghz=1.0), 4)
+        assert group.peak_mem_rate_bytes_per_sec == pytest.approx(4 * 10e9)
+
+    def test_str_mentions_counts(self):
+        text = str(make_arch())
+        assert "4xcold" in text and "1xhot" in text

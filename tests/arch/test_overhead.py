@@ -1,0 +1,31 @@
+"""Merger-module overhead estimate tests (paper Sec. VII-C)."""
+
+import pytest
+
+from repro.arch.overhead import merger_overhead_estimate
+
+
+class TestMergerOverhead:
+    def test_default_below_twenty_percent_of_spade_pe(self):
+        """The paper's claim: the Merger costs less than 20% of one SPADE
+        PE in both area and power."""
+        est = merger_overhead_estimate()
+        assert 0 < est.area_ratio_vs_spade_pe < 0.20
+        assert 0 < est.power_ratio_vs_spade_pe < 0.20
+
+    def test_scales_with_lanes(self):
+        small = merger_overhead_estimate(simd_lanes=8)
+        big = merger_overhead_estimate(simd_lanes=32)
+        assert big.area_mm2 > small.area_mm2
+        assert big.power_mw > small.power_mw
+
+    def test_scales_with_registers(self):
+        small = merger_overhead_estimate(register_kb=1.0)
+        big = merger_overhead_estimate(register_kb=8.0)
+        assert big.area_mm2 > small.area_mm2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="positive"):
+            merger_overhead_estimate(simd_lanes=0)
+        with pytest.raises(ValueError, match="positive"):
+            merger_overhead_estimate(register_kb=-1.0)

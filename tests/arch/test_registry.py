@@ -1,0 +1,28 @@
+"""Worker registry tests."""
+
+import pytest
+
+from repro.core.traits import WorkerKind, WorkerTraits
+from repro.workers.registry import WORKER_FACTORIES, make_worker
+
+
+class TestRegistry:
+    def test_all_paper_workers_registered(self):
+        assert {"spade-pe", "sextans", "sextans-enhanced", "piuma-mtp", "piuma-stp"} <= set(
+            WORKER_FACTORIES
+        )
+
+    @pytest.mark.parametrize("name", sorted(WORKER_FACTORIES))
+    def test_factories_build_valid_traits(self, name):
+        worker = make_worker(name)
+        assert isinstance(worker, WorkerTraits)
+        assert worker.kind in (WorkerKind.HOT, WorkerKind.COLD)
+        assert worker.cycles_per_nonzero(32) > 0
+
+    def test_kwargs_forwarded(self):
+        worker = make_worker("sextans", system_scale=8)
+        assert worker.macs_per_cycle == pytest.approx(40.0)
+
+    def test_unknown_worker(self):
+        with pytest.raises(ValueError, match="unknown worker"):
+            make_worker("gpu")

@@ -1,0 +1,54 @@
+"""Shared fixtures: small matrices and architectures for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.configs import piuma, spade_sextans
+from repro.sparse import generators
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.tiling import TiledMatrix
+
+
+@pytest.fixture(scope="session")
+def small_rmat() -> SparseMatrix:
+    """A small power-law matrix (strong IMH)."""
+    return generators.rmat(scale=10, nnz=8_000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_uniform() -> SparseMatrix:
+    """A small uniform matrix (no IMH)."""
+    return generators.uniform_random(1024, 1024, 8_000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_banded() -> SparseMatrix:
+    """A small banded mesh-like matrix."""
+    return generators.banded(1024, 10_000, bandwidth=24, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tiny_matrix() -> SparseMatrix:
+    """An 8x8 hand-checkable matrix."""
+    rows = np.array([0, 0, 1, 2, 3, 4, 5, 6, 7, 7])
+    cols = np.array([0, 7, 1, 2, 0, 4, 5, 6, 0, 7])
+    vals = np.arange(1.0, 11.0, dtype=np.float32)
+    return SparseMatrix(8, 8, rows, cols, vals)
+
+
+@pytest.fixture(scope="session")
+def spade_sextans_arch():
+    """Scale-4 SPADE-Sextans (the paper's base system)."""
+    return spade_sextans(4)
+
+
+@pytest.fixture(scope="session")
+def piuma_arch():
+    return piuma()
+
+
+@pytest.fixture()
+def tiled_rmat(small_rmat, spade_sextans_arch) -> TiledMatrix:
+    return TiledMatrix(small_rmat, spade_sextans_arch.tile_height, spade_sextans_arch.tile_width)

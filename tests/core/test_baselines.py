@@ -1,0 +1,69 @@
+"""IUnaware / homogeneous baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    cold_only_assignment,
+    hot_only_assignment,
+    iunaware_assignment,
+)
+from repro.sparse import generators
+from repro.sparse.tiling import TiledMatrix
+from tests.core.test_partition import tiny_arch
+
+
+@pytest.fixture(scope="module")
+def tiled():
+    m = generators.uniform_random(64, 64, 800, seed=0)
+    return TiledMatrix(m, 4, 4)
+
+
+class TestHomogeneous:
+    def test_hot_only(self):
+        assert hot_only_assignment(5).all()
+
+    def test_cold_only(self):
+        assert not cold_only_assignment(5).any()
+
+
+class TestIUnaware:
+    def test_fraction_matches_equation_one(self, tiled):
+        arch = tiny_arch(n_hot=1, n_cold=2)
+        decision = iunaware_assignment(tiled, arch)
+        ex_hw = decision.th_single_worker_s / arch.hot.count
+        ex_cw = decision.tc_single_worker_s / arch.cold.count
+        assert decision.frac_tile_hot == pytest.approx(ex_cw / (ex_cw + ex_hw))
+
+    def test_assigned_count_matches_fraction(self, tiled):
+        decision = iunaware_assignment(tiled, tiny_arch())
+        expected = round(decision.frac_tile_hot * tiled.n_tiles)
+        assert decision.assignment.sum() == expected
+
+    def test_seeded_reproducibility(self, tiled):
+        a = iunaware_assignment(tiled, tiny_arch(), seed=7)
+        b = iunaware_assignment(tiled, tiny_arch(), seed=7)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_different_seeds_shuffle_placement(self, tiled):
+        a = iunaware_assignment(tiled, tiny_arch(), seed=1)
+        b = iunaware_assignment(tiled, tiny_arch(), seed=2)
+        # Same count (Eq. 1), different placement.
+        assert a.assignment.sum() == b.assignment.sum()
+        if 0 < a.assignment.sum() < tiled.n_tiles:
+            assert not np.array_equal(a.assignment, b.assignment)
+
+    def test_no_hot_workers_gives_all_cold(self, tiled):
+        decision = iunaware_assignment(tiled, tiny_arch(n_hot=0))
+        assert decision.frac_tile_hot == 0.0
+        assert not decision.assignment.any()
+
+    def test_no_cold_workers_gives_all_hot(self, tiled):
+        decision = iunaware_assignment(tiled, tiny_arch(n_cold=0))
+        assert decision.frac_tile_hot == 1.0
+        assert decision.assignment.all()
+
+    def test_more_cold_workers_shrink_hot_fraction(self, tiled):
+        few = iunaware_assignment(tiled, tiny_arch(n_cold=2))
+        many = iunaware_assignment(tiled, tiny_arch(n_cold=16))
+        assert many.frac_tile_hot < few.frac_tile_hot

@@ -1,0 +1,85 @@
+"""vis_lat calibration tests."""
+
+import pytest
+
+from repro.core.calibration import calibrate_architecture, calibrate_vis_lat, calibration_error
+from repro.core.partition import HotTilesPartitioner
+from repro.core.traits import WorkerKind
+from repro.sparse import generators
+from repro.sparse.tiling import TiledMatrix
+from tests.core.test_partition import tiny_arch
+
+
+def profiling_set():
+    mats = [
+        generators.uniform_random(64, 64, 700, seed=1),
+        generators.banded(64, 500, bandwidth=6, seed=2),
+    ]
+    return [TiledMatrix(m, 4, 4) for m in mats]
+
+
+class TestCalibrationError:
+    def test_zero_for_perfect_predictions(self):
+        assert calibration_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_symmetric_in_log_space(self):
+        assert calibration_error([2.0], [1.0]) == pytest.approx(
+            calibration_error([1.0], [2.0])
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equally many"):
+            calibration_error([1.0], [1.0, 2.0])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            calibration_error([0.0], [1.0])
+
+
+class TestCalibrateVisLat:
+    def test_recovers_synthetic_ground_truth(self):
+        """Generate 'measured' runtimes from the model itself at a known
+        vis_lat; calibration must recover it."""
+        arch = tiny_arch(n_hot=1, n_cold=2)
+        true_vis_lat = 3.7e-10
+        truth_arch = arch.with_calibrated(
+            arch.hot.traits, arch.cold.traits.with_vis_lat(true_vis_lat)
+        )
+        partitioner = HotTilesPartitioner(truth_arch)
+        runs = [
+            (t, partitioner.predict_homogeneous(t, WorkerKind.COLD))
+            for t in profiling_set()
+        ]
+        fitted = calibrate_vis_lat(arch, WorkerKind.COLD, runs)
+        assert fitted == pytest.approx(true_vis_lat, rel=0.05)
+
+    def test_requires_runs(self):
+        with pytest.raises(ValueError, match="profiling run"):
+            calibrate_vis_lat(tiny_arch(), WorkerKind.COLD, [])
+
+    def test_calibrate_architecture_updates_both_types(self):
+        arch = tiny_arch()
+        seen = []
+
+        def measure(a, tiled, kind):
+            seen.append(kind)
+            # A fake measurement: scaled model prediction.
+            return HotTilesPartitioner(a).predict_homogeneous(tiled, kind) * 1.5
+
+        out = calibrate_architecture(arch, measure, profiling_set())
+        assert WorkerKind.HOT in seen and WorkerKind.COLD in seen
+        assert out.hot.traits.vis_lat_s_per_byte != arch.hot.traits.vis_lat_s_per_byte
+
+    def test_calibrate_architecture_skips_empty_group(self):
+        arch = tiny_arch(n_hot=0)
+
+        def measure(a, tiled, kind):
+            assert kind is WorkerKind.COLD  # hot group must never be measured
+            return 1e-6
+
+        out = calibrate_architecture(arch, measure, profiling_set())
+        assert out.hot.traits == arch.hot.traits
+
+    def test_calibrate_architecture_requires_matrices(self):
+        with pytest.raises(ValueError, match="profiling matrix"):
+            calibrate_architecture(tiny_arch(), lambda a, t, k: 1.0, [])

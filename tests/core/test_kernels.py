@@ -1,0 +1,111 @@
+"""Kernel-variant tests: gSpMM, SpMV and SDDMM through the full stack.
+
+Paper Sec. II-A and Sec. X: gSpMM changes arithmetic intensity but not the
+access pattern; SpMV and SDDMM share the SpMM access pattern, so the
+modeling and partitioning methodology applies to them directly.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.arch.heterogeneous import WorkerGroup
+from repro.core.model import AnalyticalModel
+from repro.core.partition import HotTilesPartitioner
+from repro.core.problem import Kernel, ProblemSpec
+from repro.core.traits import Task, WorkerKind
+from repro.sim.engine import simulate_homogeneous
+from repro.sparse import generators
+from repro.sparse.tiling import TiledMatrix
+from tests.core.test_model import cold_worker, hot_worker
+from tests.core.test_partition import tiny_arch
+
+
+@pytest.fixture(scope="module")
+def tiled():
+    m = generators.community_blocks(128, 2500, 8, seed=31)
+    return TiledMatrix(m, 4, 4)
+
+
+def arch_for(problem):
+    base = tiny_arch()
+    return dataclasses.replace(base, problem=problem)
+
+
+class TestGspmm:
+    def test_intensity_shifts_partition_toward_hot(self, tiled):
+        """More ops per nonzero -> compute matters more -> more nonzeros
+        should land on a compute-rich hot worker (the Fig. 14 migration)."""
+
+        def arch(ops):
+            base = tiny_arch()
+            rich_hot = WorkerGroup(
+                dataclasses.replace(base.hot.traits, macs_per_cycle=16.0), 1
+            )
+            return dataclasses.replace(
+                base, hot=rich_hot, problem=ProblemSpec(k=4).with_ops_per_nnz(ops)
+            )
+
+        light = HotTilesPartitioner(arch(1)).partition(tiled)
+        heavy = HotTilesPartitioner(arch(32)).partition(tiled)
+        assert heavy.chosen.hot_nnz_fraction(tiled) >= light.chosen.hot_nnz_fraction(
+            tiled
+        )
+
+    def test_intensity_slows_compute_bound_worker(self, tiled):
+        slow = cold_worker(macs_per_cycle=0.01)
+        light = AnalyticalModel(ProblemSpec(k=4)).tile_costs(tiled, slow)
+        heavy = AnalyticalModel(ProblemSpec(k=4, ops_per_nnz=8)).tile_costs(tiled, slow)
+        assert heavy.time_s.sum() > light.time_s.sum()
+
+
+class TestSpmv:
+    def test_problem_shape(self):
+        p = ProblemSpec.spmv()
+        assert p.dense_row_bytes == 4  # one scalar per "row"
+        assert p.flops_per_nnz == pytest.approx(2.0)
+
+    def test_model_traffic_smaller_than_spmm(self, tiled):
+        w = cold_worker()
+        spmm = AnalyticalModel(ProblemSpec(k=4)).tile_costs(tiled, w)
+        spmv = AnalyticalModel(ProblemSpec.spmv()).tile_costs(tiled, w)
+        assert spmv.bytes.sum() < spmm.bytes.sum()
+
+    def test_partition_and_simulation_run(self, tiled):
+        arch = arch_for(ProblemSpec.spmv())
+        result = HotTilesPartitioner(arch).partition(tiled)
+        assert result.chosen.predicted_time_s > 0
+        sim = simulate_homogeneous(arch, tiled, WorkerKind.COLD)
+        assert sim.time_s > 0
+
+
+class TestSddmm:
+    def test_write_traffic_is_per_nonzero(self, tiled):
+        w = hot_worker()
+        spmm = AnalyticalModel(ProblemSpec(k=4)).tile_costs(tiled, w)
+        sddmm = AnalyticalModel(ProblemSpec.sddmm(k=4)).tile_costs(tiled, w)
+        nnz = tiled.stats.nnz.astype(float)
+        np.testing.assert_allclose(
+            sddmm.task_bytes[Task.DOUT_WRITE], nnz * 4.0
+        )
+        # Reads of both dense inputs are unchanged.
+        np.testing.assert_allclose(
+            sddmm.task_bytes[Task.DIN_READ], spmm.task_bytes[Task.DIN_READ]
+        )
+
+    def test_sim_moves_less_output_than_spmm(self, tiled):
+        # With wide dense rows (K = 32), writing one scalar per nonzero is
+        # cheaper than read-modify-writing whole Dout rows.
+        spmm_sim = simulate_homogeneous(
+            arch_for(ProblemSpec(k=32)), tiled, WorkerKind.HOT
+        )
+        sddmm_sim = simulate_homogeneous(
+            arch_for(ProblemSpec.sddmm(k=32)), tiled, WorkerKind.HOT
+        )
+        assert sddmm_sim.bytes_total < spmm_sim.bytes_total
+
+    def test_partition_runs(self, tiled):
+        result = HotTilesPartitioner(arch_for(ProblemSpec.sddmm(k=4))).partition(tiled)
+        assert result.chosen.predicted_time_s > 0
+        assert result.candidates

@@ -1,0 +1,125 @@
+"""Property tests: the partitioner is sound for *arbitrary* worker traits.
+
+The paper evaluates three machines; the framework claims generality over
+any (hot, cold) trait pair (Sec. VI-B lists the user-settable traits).
+These tests draw random-but-valid worker traits and check the partitioning
+invariants hold for all of them -- the guarantee behind
+``examples/custom_accelerator.py``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.heterogeneous import Architecture, WorkerGroup
+from repro.core.partition import ExecutionMode, HotTilesPartitioner
+from repro.core.problem import ProblemSpec
+from repro.core.traits import (
+    OVERLAP_FULL,
+    OVERLAP_NONE,
+    ReuseType,
+    SparseFormat,
+    Traversal,
+    WorkerKind,
+    WorkerTraits,
+)
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.tiling import TiledMatrix
+
+PROBLEM = ProblemSpec(k=8, value_bytes=4, index_bytes=4)
+
+_DIN_REUSE = [ReuseType.NONE, ReuseType.INTRA_TILE_DEMAND, ReuseType.INTRA_TILE_STREAM]
+_DOUT_REUSE = [
+    ReuseType.NONE,
+    ReuseType.INTRA_TILE_DEMAND,
+    ReuseType.INTRA_TILE_STREAM,
+    ReuseType.INTER_TILE,
+]
+
+
+@st.composite
+def worker_traits(draw, kind):
+    dout = draw(st.sampled_from(_DOUT_REUSE))
+    return WorkerTraits(
+        name=f"rand-{kind.value}",
+        kind=kind,
+        macs_per_cycle=draw(st.floats(min_value=0.25, max_value=32.0)),
+        simd_width=draw(st.sampled_from([4, 8, 16])),
+        frequency_ghz=draw(st.floats(min_value=0.5, max_value=3.0)),
+        din_reuse=draw(st.sampled_from(_DIN_REUSE)),
+        dout_reuse=dout,
+        dout_first_tile_reuse=(
+            draw(
+                st.sampled_from(
+                    [ReuseType.INTRA_TILE_DEMAND, ReuseType.INTRA_TILE_STREAM]
+                )
+            )
+            if dout is ReuseType.INTER_TILE
+            else None
+        ),
+        sparse_format=draw(st.sampled_from(list(SparseFormat))),
+        traversal=draw(st.sampled_from(list(Traversal))),
+        overlap_groups=draw(st.sampled_from([OVERLAP_FULL, OVERLAP_NONE])),
+        vis_lat_s_per_byte=draw(st.floats(min_value=1e-12, max_value=1e-9)),
+        mem_bytes_per_cycle=draw(st.floats(min_value=1.0, max_value=128.0)),
+        cache_bytes=draw(st.sampled_from([0, 256, 4096])),
+    )
+
+
+@st.composite
+def random_architectures(draw):
+    return Architecture(
+        name="random",
+        hot=WorkerGroup(draw(worker_traits(WorkerKind.HOT)), draw(st.integers(1, 3))),
+        cold=WorkerGroup(draw(worker_traits(WorkerKind.COLD)), draw(st.integers(1, 8))),
+        mem_bw_gbs=draw(st.floats(min_value=10.0, max_value=500.0)),
+        problem=PROBLEM,
+        tile_height=4,
+        tile_width=4,
+        atomic_updates=draw(st.booleans()),
+    )
+
+
+@st.composite
+def small_tiled(draw):
+    n = draw(st.integers(min_value=8, max_value=24))
+    nnz = draw(st.integers(min_value=1, max_value=80))
+    rows = np.array(draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)))
+    cols = np.array(draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)))
+    return TiledMatrix(SparseMatrix(n, n, rows, cols), 4, 4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(arch=random_architectures(), tiled=small_tiled())
+def test_partition_invariants_for_any_traits(arch, tiled):
+    result = HotTilesPartitioner(arch).partition(tiled)
+    chosen = result.chosen
+    assert chosen.assignment.shape == (tiled.n_tiles,)
+    assert np.isfinite(chosen.predicted_time_s)
+    assert chosen.predicted_time_s > 0
+    # Candidate set follows the atomics rule.
+    expected = 2 if arch.atomic_updates else 4
+    assert len(result.candidates) == expected
+    # The chosen result is the arg-min.
+    assert chosen.predicted_time_s == min(
+        r.predicted_time_s for r in result.candidates.values()
+    )
+    # Totals are consistent: non-negative, merge only in parallel mode.
+    for candidate in result.candidates.values():
+        t = candidate.totals
+        assert t.th_total >= 0 and t.tc_total >= 0
+        assert t.bh_total >= 0 and t.bc_total >= 0
+        if candidate.mode is ExecutionMode.SERIAL or arch.atomic_updates:
+            assert t.t_merge == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(arch=random_architectures(), tiled=small_tiled())
+def test_simulation_runs_for_any_traits(arch, tiled):
+    """The simulator accepts whatever the partitioner produces."""
+    from repro.sim.engine import simulate
+
+    chosen = HotTilesPartitioner(arch).partition(tiled).chosen
+    sim = simulate(arch, tiled, chosen.assignment, chosen.mode)
+    assert sim.time_s > 0
+    assert sim.hot.nnz + sim.cold.nnz == tiled.matrix.nnz

@@ -1,0 +1,47 @@
+"""Problem spec tests."""
+
+import pytest
+
+from repro.core.problem import Kernel, ProblemSpec
+
+
+class TestProblemSpec:
+    def test_defaults_match_paper(self):
+        p = ProblemSpec()
+        assert p.k == 32
+        assert p.value_bytes == 4
+        assert p.kernel is Kernel.SPMM
+
+    def test_dense_row_bytes(self):
+        assert ProblemSpec(k=32, value_bytes=4).dense_row_bytes == 128
+        assert ProblemSpec(k=32, value_bytes=8).dense_row_bytes == 256
+
+    def test_flops_per_nnz(self):
+        assert ProblemSpec(k=32).flops_per_nnz == pytest.approx(64.0)
+        assert ProblemSpec(k=32, ops_per_nnz=4).flops_per_nnz == pytest.approx(256.0)
+
+    def test_with_ops_per_nnz_marks_gspmm(self):
+        p = ProblemSpec().with_ops_per_nnz(8)
+        assert p.ops_per_nnz == 8
+        assert p.kernel is Kernel.GSPMM
+
+    def test_with_ops_per_nnz_identity(self):
+        assert ProblemSpec().with_ops_per_nnz(1).kernel is Kernel.SPMM
+
+    def test_spmv_constructor(self):
+        p = ProblemSpec.spmv()
+        assert p.k == 1 and p.kernel is Kernel.SPMV
+
+    def test_spmv_requires_k1(self):
+        with pytest.raises(ValueError, match="SpMV"):
+            ProblemSpec(k=2, kernel=Kernel.SPMV)
+
+    def test_sddmm_constructor(self):
+        p = ProblemSpec.sddmm(k=16)
+        assert p.kernel is Kernel.SDDMM and p.k == 16
+
+    @pytest.mark.parametrize("field,value", [("k", 0), ("value_bytes", 0), ("ops_per_nnz", 0)])
+    def test_invalid_fields(self, field, value):
+        kwargs = {field: value}
+        with pytest.raises(ValueError):
+            ProblemSpec(**kwargs)

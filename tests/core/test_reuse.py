@@ -1,0 +1,87 @@
+"""Table I formula tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.reuse import (
+    dense_rows_accessed,
+    effective_tile_heights,
+    effective_tile_widths,
+    sparse_bytes_accessed,
+    sparse_items_accessed,
+)
+from repro.core.traits import ReuseType, SparseFormat
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.tiling import TiledMatrix
+
+NNZ = np.array([5.0, 1.0, 12.0])
+UNIQ = np.array([3.0, 1.0, 4.0])
+EXT = np.array([8.0, 8.0, 8.0])
+
+
+class TestDenseRows:
+    def test_none_reuse_charges_per_nonzero(self):
+        assert dense_rows_accessed(ReuseType.NONE, NNZ, UNIQ, EXT).tolist() == NNZ.tolist()
+
+    def test_demand_reuse_charges_unique_ids(self):
+        out = dense_rows_accessed(ReuseType.INTRA_TILE_DEMAND, NNZ, UNIQ, EXT)
+        assert out.tolist() == UNIQ.tolist()
+
+    def test_stream_reuse_charges_tile_extent(self):
+        out = dense_rows_accessed(ReuseType.INTRA_TILE_STREAM, NNZ, UNIQ, EXT)
+        assert out.tolist() == EXT.tolist()
+
+    def test_inter_tile_charges_nothing(self):
+        out = dense_rows_accessed(ReuseType.INTER_TILE, NNZ, UNIQ, EXT)
+        assert out.tolist() == [0.0, 0.0, 0.0]
+
+    def test_figure3_example(self):
+        """Fig. 3: T1 (1 nnz) and T2 (5 nnz, 3 unique cols) on 3-wide tiles."""
+        nnz = np.array([1.0, 5.0])
+        uniq_cids = np.array([1.0, 3.0])
+        width = np.array([3.0, 3.0])
+        cold = dense_rows_accessed(ReuseType.NONE, nnz, uniq_cids, width)
+        hot = dense_rows_accessed(ReuseType.INTRA_TILE_STREAM, nnz, uniq_cids, width)
+        # Cold: 1 row for T1, 5 rows for T2.  Hot: 3 rows for both.
+        assert cold.tolist() == [1.0, 5.0]
+        assert hot.tolist() == [3.0, 3.0]
+        assert cold[0] < hot[0]  # T1 is a cold tile
+        assert hot[1] < cold[1]  # T2 is a hot tile
+
+
+class TestSparseItems:
+    def test_coo_three_items_per_nonzero(self):
+        heights = np.array([64.0, 64.0, 64.0])
+        out = sparse_items_accessed(SparseFormat.COO_LIKE, NNZ, heights)
+        assert out.tolist() == (3 * NNZ).tolist()
+
+    def test_csr_height_plus_two_per_nonzero(self):
+        heights = np.array([64.0, 32.0, 64.0])
+        out = sparse_items_accessed(SparseFormat.CSR_LIKE, NNZ, heights)
+        assert out.tolist() == (heights + 2 * NNZ).tolist()
+
+    def test_coo_bytes_split(self):
+        heights = np.array([64.0])
+        out = sparse_bytes_accessed(SparseFormat.COO_LIKE, np.array([10.0]), heights, 4, 4)
+        assert out[0] == pytest.approx(10 * 12)
+
+    def test_csr_bytes_split(self):
+        out = sparse_bytes_accessed(
+            SparseFormat.CSR_LIKE, np.array([10.0]), np.array([64.0]), 8, 8
+        )
+        assert out[0] == pytest.approx(64 * 8 + 10 * 16)
+
+
+class TestEffectiveExtents:
+    def test_interior_and_edge_tiles(self):
+        # 100x90 matrix, 64x64 tiles: edge tiles are clipped.
+        m = SparseMatrix(100, 90, [0, 70, 99], [0, 70, 89])
+        tiled = TiledMatrix(m, 64, 64)
+        widths = effective_tile_widths(tiled)
+        heights = effective_tile_heights(tiled)
+        by_pos = {
+            (int(r), int(c)): (heights[i], widths[i])
+            for i, (r, c) in enumerate(zip(tiled.stats.tile_row, tiled.stats.tile_col))
+        }
+        assert by_pos[(0, 0)] == (64.0, 64.0)
+        assert by_pos[(1, 1)] == (36.0, 26.0)  # 100-64, 90-64

@@ -1,0 +1,84 @@
+"""Roofline (IUnaware holistic model) tests."""
+
+import pytest
+
+from repro.core.problem import ProblemSpec
+from repro.core.roofline import expected_unique, roofline_estimate
+from repro.core.traits import ReuseType
+from repro.sparse import generators
+from repro.sparse.matrix import SparseMatrix
+from tests.core.test_model import cold_worker, hot_worker
+
+PROBLEM = ProblemSpec(k=4, value_bytes=4, index_bytes=4)
+BW = 100e9
+
+
+class TestExpectedUnique:
+    def test_zero_balls(self):
+        assert expected_unique(100, 0) == 0.0
+
+    def test_zero_bins(self):
+        assert expected_unique(0, 10) == 0.0
+
+    def test_one_ball(self):
+        assert expected_unique(100, 1) == pytest.approx(1.0)
+
+    def test_saturates_at_bins(self):
+        assert expected_unique(10, 10_000) == pytest.approx(10.0, rel=1e-6)
+
+    def test_monotone_in_balls(self):
+        values = [expected_unique(64, b) for b in range(0, 200, 10)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_never_exceeds_either_bound(self):
+        for balls in (1, 5, 50, 500):
+            e = expected_unique(64, balls)
+            assert e <= 64 + 1e-9
+            assert e <= balls + 1e-9
+
+
+class TestRooflineEstimate:
+    def test_cold_bytes_matrix_level(self):
+        m = SparseMatrix(8, 8, [0, 1, 2], [0, 1, 2])
+        est = roofline_estimate(m, cold_worker(), PROBLEM, BW)
+        # Din none: 3 rows * 16 B; Dout inter->demand over whole matrix:
+        # E[unique of 3 balls in 8 bins] read+write; sparse 3 * 12 B.
+        dout_rows = expected_unique(8, 3)
+        assert est.bytes_total == pytest.approx(3 * 16 + 2 * dout_rows * 16 + 36)
+
+    def test_hot_streams_whole_matrix_once(self):
+        m = SparseMatrix(8, 8, [0], [0])
+        est = roofline_estimate(m, hot_worker(), PROBLEM, BW)
+        # Din stream: 8 rows; Dout inter->stream: 8 rows read+write.
+        assert est.bytes_total == pytest.approx(8 * 16 + 2 * 8 * 16 + 12)
+
+    def test_time_is_roofline_max(self):
+        m = generators.uniform_random(256, 256, 5000, seed=0)
+        est = roofline_estimate(m, cold_worker(), PROBLEM, BW)
+        assert est.time_s == pytest.approx(max(est.compute_time_s, est.memory_time_s))
+
+    def test_memory_time_scales_inversely_with_bw(self):
+        m = generators.uniform_random(256, 256, 5000, seed=0)
+        a = roofline_estimate(m, cold_worker(), PROBLEM, BW)
+        b = roofline_estimate(m, cold_worker(), PROBLEM, BW / 2)
+        assert b.memory_time_s == pytest.approx(2 * a.memory_time_s)
+
+    def test_underestimates_hot_traffic_on_power_law(self, small_rmat):
+        """The paper's IUnaware pitfall: at matrix granularity the
+        streaming worker's estimated traffic is far below the true tiled
+        streaming traffic for a power-law matrix."""
+        from repro.core.model import AnalyticalModel
+        from repro.sparse.tiling import TiledMatrix
+
+        worker = hot_worker()
+        est = roofline_estimate(small_rmat, worker, PROBLEM, BW)
+        tiled = TiledMatrix(small_rmat, 64, 64)
+        true_costs = AnalyticalModel(PROBLEM).tile_costs(tiled, worker)
+        assert est.bytes_total < 0.5 * true_costs.bytes.sum()
+
+    def test_demand_reuse_uses_expected_unique(self):
+        m = generators.uniform_random(64, 64, 500, seed=1)
+        worker = cold_worker(din_reuse=ReuseType.INTRA_TILE_DEMAND)
+        est_demand = roofline_estimate(m, worker, PROBLEM, BW)
+        est_none = roofline_estimate(m, cold_worker(), PROBLEM, BW)
+        assert est_demand.bytes_total < est_none.bytes_total

@@ -1,0 +1,43 @@
+"""Free-dimension tile-size search tests."""
+
+import pytest
+
+from repro.core.tilesize import search_tile_size
+from repro.sparse import generators
+from tests.core.test_partition import tiny_arch
+
+
+class TestSearchTileSize:
+    def test_defaults_to_architecture_tile(self):
+        m = generators.uniform_random(64, 64, 500, seed=0)
+        arch = tiny_arch()
+        choice, tiled = search_tile_size(m, arch)
+        assert (choice.tile_height, choice.tile_width) == (4, 4)
+        assert tiled.tile_height == 4
+
+    def test_picks_minimum_predicted_time(self):
+        m = generators.banded(64, 800, bandwidth=8, seed=1)
+        arch = tiny_arch()
+        choice, _ = search_tile_size(m, arch, heights=[2, 4, 8, 16])
+        # Re-evaluate each candidate and confirm the winner is minimal.
+        times = {
+            h: search_tile_size(m, arch, heights=[h])[0].predicted_time_s
+            for h in [2, 4, 8, 16]
+        }
+        assert choice.predicted_time_s == pytest.approx(min(times.values()))
+        assert times[choice.tile_height] == pytest.approx(choice.predicted_time_s)
+
+    def test_grid_search_both_dimensions(self):
+        m = generators.uniform_random(64, 64, 500, seed=2)
+        choice, tiled = search_tile_size(m, tiny_arch(), heights=[4, 8], widths=[4, 8])
+        assert choice.tile_height in (4, 8)
+        assert choice.tile_width in (4, 8)
+        assert (tiled.tile_height, tiled.tile_width) == (
+            choice.tile_height,
+            choice.tile_width,
+        )
+
+    def test_invalid_candidates(self):
+        m = generators.uniform_random(16, 16, 20, seed=3)
+        with pytest.raises(ValueError, match="positive"):
+            search_tile_size(m, tiny_arch(), heights=[0])

@@ -1,0 +1,144 @@
+"""Worker trait tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.traits import (
+    OVERLAP_FULL,
+    OVERLAP_NONE,
+    ReuseType,
+    SparseFormat,
+    Task,
+    Traversal,
+    WorkerKind,
+    WorkerTraits,
+)
+
+
+def make_traits(**overrides):
+    defaults = dict(
+        name="test",
+        kind=WorkerKind.COLD,
+        macs_per_cycle=1.0,
+        simd_width=16,
+        frequency_ghz=1.0,
+        din_reuse=ReuseType.NONE,
+        dout_reuse=ReuseType.INTRA_TILE_DEMAND,
+        sparse_format=SparseFormat.COO_LIKE,
+        traversal=Traversal.UNTILED_ROW_ORDERED,
+    )
+    defaults.update(overrides)
+    return WorkerTraits(**defaults)
+
+
+class TestValidation:
+    def test_valid_traits(self):
+        assert make_traits().name == "test"
+
+    @pytest.mark.parametrize("field", ["macs_per_cycle", "simd_width", "frequency_ghz"])
+    def test_non_positive_compute_rejected(self, field):
+        with pytest.raises(ValueError, match="positive"):
+            make_traits(**{field: 0})
+
+    def test_negative_vis_lat_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_traits(vis_lat_s_per_byte=-1.0)
+
+    def test_overlap_groups_must_cover_all_tasks(self):
+        with pytest.raises(ValueError, match="cover"):
+            make_traits(overlap_groups=(frozenset({Task.COMPUTE}),))
+
+    def test_overlap_groups_must_be_disjoint(self):
+        groups = (
+            frozenset({Task.COMPUTE, Task.DIN_READ}),
+            frozenset({Task.DIN_READ, Task.DOUT_READ, Task.DOUT_WRITE, Task.SPARSE_READ}),
+        )
+        with pytest.raises(ValueError, match="overlap"):
+            make_traits(overlap_groups=groups)
+
+    def test_first_tile_reuse_cannot_be_inter(self):
+        with pytest.raises(ValueError, match="INTER_TILE"):
+            make_traits(
+                dout_reuse=ReuseType.INTER_TILE,
+                dout_first_tile_reuse=ReuseType.INTER_TILE,
+            )
+
+
+class TestComputeModel:
+    def test_cycles_per_nonzero_simd_split(self):
+        t = make_traits(macs_per_cycle=1.0, simd_width=16)
+        assert t.cycles_per_nonzero(32) == pytest.approx(2.0)
+        assert t.cycles_per_nonzero(16) == pytest.approx(1.0)
+        assert t.cycles_per_nonzero(17) == pytest.approx(2.0)  # ceil
+
+    def test_cycles_scale_with_ops_per_nnz(self):
+        t = make_traits()
+        assert t.cycles_per_nonzero(32, ops_per_nnz=4) == pytest.approx(
+            4 * t.cycles_per_nonzero(32)
+        )
+
+    def test_fixed_nnz_per_cycle_ignores_intensity(self):
+        t = make_traits(fixed_nnz_per_cycle=20.0)
+        assert t.cycles_per_nonzero(32, 1) == pytest.approx(0.05)
+        assert t.cycles_per_nonzero(32, 16) == pytest.approx(0.05)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_traits().cycles_per_nonzero(0)
+
+    def test_throughput_and_gflops(self):
+        t = make_traits(macs_per_cycle=2.0, simd_width=32, frequency_ghz=1.0)
+        assert t.nnz_throughput_per_sec(32) == pytest.approx(2e9)
+        # 2 Gnnz/s * 64 flops = 128 GFLOP/s.
+        assert t.peak_gflops(32) == pytest.approx(128.0)
+
+    def test_mem_rate(self):
+        t = make_traits(mem_bytes_per_cycle=8.0, frequency_ghz=2.0)
+        assert t.mem_rate_bytes_per_sec() == pytest.approx(16e9)
+
+
+class TestReuseHelpers:
+    def test_effective_first_reuse_passthrough(self):
+        t = make_traits(din_reuse=ReuseType.INTRA_TILE_STREAM)
+        assert t.effective_first_reuse("din") is ReuseType.INTRA_TILE_STREAM
+
+    def test_effective_first_reuse_inter(self):
+        t = make_traits(
+            dout_reuse=ReuseType.INTER_TILE,
+            dout_first_tile_reuse=ReuseType.INTRA_TILE_STREAM,
+        )
+        assert t.effective_first_reuse("dout") is ReuseType.INTRA_TILE_STREAM
+
+    def test_effective_first_reuse_missing(self):
+        t = make_traits(dout_reuse=ReuseType.INTER_TILE, dout_first_tile_reuse=None)
+        with pytest.raises(ValueError, match="first_tile_reuse required"):
+            t.effective_first_reuse("dout")
+
+    def test_effective_first_reuse_bad_operand(self):
+        with pytest.raises(ValueError, match="operand"):
+            make_traits().effective_first_reuse("dense")
+
+
+class TestCopies:
+    def test_with_vis_lat(self):
+        t = make_traits(vis_lat_s_per_byte=1e-10)
+        t2 = t.with_vis_lat(5e-11)
+        assert t2.vis_lat_s_per_byte == 5e-11
+        assert t.vis_lat_s_per_byte == 1e-10  # original untouched
+
+    def test_scaled_compute(self):
+        t = make_traits(macs_per_cycle=2.0)
+        assert t.scaled_compute(3.0).macs_per_cycle == pytest.approx(6.0)
+
+    def test_scaled_compute_fixed_rate(self):
+        t = make_traits(fixed_nnz_per_cycle=10.0)
+        assert t.scaled_compute(2.0).fixed_nnz_per_cycle == pytest.approx(20.0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            make_traits().name = "other"
+
+    def test_overlap_constants(self):
+        assert len(OVERLAP_FULL) == 1 and len(OVERLAP_FULL[0]) == 5
+        assert len(OVERLAP_NONE) == 5

@@ -1,0 +1,75 @@
+"""CSV export tests."""
+
+import io
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.export import result_to_csv, rows_to_csv
+
+
+@dataclass(frozen=True)
+class FakeTupleResult:
+    rows: list
+
+
+@dataclass(frozen=True)
+class Item:
+    name: str
+    value: float
+
+
+@dataclass(frozen=True)
+class FakeDictResult:
+    rows: dict
+
+
+class TestRowsToCsv:
+    def test_string_output(self):
+        text = rows_to_csv(["a", "b"], [(1, 2), (3, 4)])
+        assert text.splitlines() == ["a,b", "1,2", "3,4"]
+
+    def test_file_target(self, tmp_path):
+        path = tmp_path / "out.csv"
+        rows_to_csv(["x"], [(1,)], path)
+        assert path.read_text().splitlines() == ["x", "1"]
+
+    def test_stream_target(self):
+        buf = io.StringIO()
+        rows_to_csv(["x"], [("hello, world",)], buf)
+        assert '"hello, world"' in buf.getvalue()
+
+
+class TestResultToCsv:
+    def test_tuple_rows(self):
+        text = result_to_csv(FakeTupleResult(rows=[("m", 1.5), ("n", 2.5)]))
+        lines = text.splitlines()
+        assert lines[0] == "col0,col1"
+        assert lines[1] == "m,1.5"
+
+    def test_dataclass_rows(self):
+        text = result_to_csv(FakeTupleResult(rows=[Item("a", 1.0)]))
+        assert text.splitlines()[0] == "name,value"
+
+    def test_dict_rows(self):
+        text = result_to_csv(FakeDictResult(rows={1: [Item("a", 1.0)], 4: [Item("b", 2.0)]}))
+        lines = text.splitlines()
+        assert lines[0] == "group,name,value"
+        assert "1,a,1.0" in lines
+        assert "4,b,2.0" in lines
+
+    def test_missing_rows(self):
+        with pytest.raises(ValueError, match="rows"):
+            result_to_csv(object())
+
+    def test_empty_rows(self):
+        with pytest.raises(ValueError, match="nothing"):
+            result_to_csv(FakeTupleResult(rows=[]))
+
+    def test_real_figure_result(self):
+        """Integration: a real experiment result exports cleanly."""
+        from repro.experiments.figures import figure18
+
+        result = figure18(subset=("pap",))
+        text = result_to_csv(result)
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,121 @@
+"""Unit tests for figure result objects (no simulation: synthetic rows).
+
+The integration tests in test_figures.py exercise the full pipelines;
+these pin down the result dataclasses' derived values and renderings in
+isolation so regressions in formatting or aggregation are caught cheaply.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    ComparisonResult,
+    Figure04Result,
+    Figure05Result,
+    Figure12Result,
+    Figure13Result,
+    Figure14Result,
+    Figure16Result,
+    Figure17Result,
+    Figure18Result,
+    Table09Result,
+)
+
+
+class TestComparisonResult:
+    def test_render_includes_rows_and_averages(self):
+        result = ComparisonResult(
+            arch_name="test-arch",
+            runtimes_ms=[("ski", 10.0, 2.0, 2.0, 5.0, 1.0)],
+            avg_speedup_vs={"hot-only": 10.0, "cold-only": 2.0},
+        )
+        text = result.render()
+        assert "test-arch" in text
+        assert "ski" in text
+        assert "hot-only: 10.00x" in text
+
+
+class TestFigure04Result:
+    def test_render(self):
+        result = Figure04Result(rows=[("a", "m", 1.0, 2.0, 1.5)])
+        assert "Fig. 4" in result.render()
+        assert "m" in result.render()
+
+
+class TestFigure05Result:
+    def test_render_symbols(self):
+        density = np.array([[3, 0], [1, 2]])
+        result = Figure05Result(
+            density_grid=density,
+            iunaware_hot_grid=np.array([[True, False], [False, False]]),
+            hottiles_hot_grid=np.array([[True, False], [False, True]]),
+            iunaware_hot_nnz_pct=50.0,
+            hottiles_hot_nnz_pct=83.0,
+        )
+        text = result.render()
+        assert "50%" in text and "83%" in text
+        assert "#" in text and "." in text
+
+
+class TestFigure12Result:
+    def test_render_mentions_bandwidth(self):
+        result = Figure12Result(
+            rows=[(1, "hottiles", 2.0)], bandwidth_gbs={1: 45.2}
+        )
+        text = result.render()
+        assert "scale 1: 45 GB/s" in text
+
+
+class TestFigure13Result:
+    def test_render_averages(self):
+        result = Figure13Result(
+            rows=[("m", 2.0, 1.5)], avg_vs_hot8=2.0, avg_vs_cold8=1.5
+        )
+        assert "2.00x vs HotOnly8" in result.render()
+
+
+class TestFigure14Result:
+    def test_render(self):
+        result = Figure14Result(rows=[(1, 10.0, 1.2, 50.0)])
+        assert "ops/nnz" in result.render()
+
+
+class TestFigure16Result:
+    def test_best_helpers(self):
+        result = Figure16Result(
+            rows=[("0-8", 0.5, 0.4), ("4-4", 1.0, 1.0), ("8-0", 0.8, 1.2)]
+        )
+        assert result.predicted_best == "4-4"
+        assert result.actual_best == "8-0"
+
+
+class TestTable09Result:
+    def test_render_summary_line(self):
+        result = Table09Result(
+            rows=[
+                ("a", "4-4", 1.0, "4-4", 1.0, True),
+                ("b", "5-3", 0.8, "8-0", 1.2, False),
+            ]
+        )
+        text = result.render()
+        assert "correct predictions 50%" in text
+        assert "oracle" in text
+
+
+class TestFigure17Result:
+    def test_render_averages(self):
+        result = Figure17Result(
+            rows=[("a", "m", 10.0, 20.0, 5.0), ("a", "n", 30.0, 40.0, 15.0)]
+        )
+        text = result.render()
+        assert "HotOnly 20.0%" in text
+        assert "ColdOnly 30.0%" in text
+        assert "HotTiles 10.0%" in text
+
+
+class TestFigure18Result:
+    def test_render_share(self):
+        result = Figure18Result(
+            rows=[("m", 0.4, 0.6, 2.5)], avg_overhead_fraction=0.6
+        )
+        assert "60%" in result.render()

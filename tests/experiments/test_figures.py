@@ -1,0 +1,174 @@
+"""Figure/table reproduction functions on small benchmark subsets.
+
+These are integration tests: they run the full calibrate + partition +
+simulate pipeline and assert the *shape* of each experiment's outcome
+(who wins, proper bounds), not absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+SUBSET = ("ski", "pap")
+
+
+class TestFigure04:
+    def test_rows_and_normalization(self):
+        result = figures.figure04(subset=SUBSET)
+        assert len(result.rows) == 2 * len(SUBSET)  # two architectures
+        for _arch, _m, hot, cold, iun in result.rows:
+            # Speedup over the worst homogeneous: the best homogeneous is
+            # >= 1 and the worst is exactly 1 by construction.
+            assert max(hot, cold) >= 1.0
+            assert min(hot, cold) == pytest.approx(1.0)
+            assert iun > 0
+        assert "Fig. 4" in result.render()
+
+    def test_unknown_subset_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            figures.figure04(subset=("nope",))
+
+
+class TestFigure05:
+    def test_assignment_maps(self):
+        result = figures.figure05()
+        assert result.density_grid.sum() > 0
+        assert result.hottiles_hot_grid.shape == result.density_grid.shape
+        # HotTiles assigns hot tiles on populated cells only.
+        assert not result.hottiles_hot_grid[result.density_grid == 0].any()
+        assert 0 <= result.hottiles_hot_nnz_pct <= 100
+        assert "#" in result.render()
+
+    def test_hottiles_targets_denser_tiles_than_iunaware(self):
+        result = figures.figure05()
+        density = result.density_grid
+        ht = density[result.hottiles_hot_grid]
+        iu = density[result.iunaware_hot_grid & (density > 0)]
+        if ht.size and iu.size:
+            assert ht.mean() >= iu.mean()
+
+
+class TestFigure10:
+    def test_table_shape_and_hottiles_wins(self):
+        result = figures.figure10_table06(subset=SUBSET)
+        assert len(result.runtimes_ms) == len(SUBSET)
+        for row in result.runtimes_ms:
+            assert all(v > 0 for v in row[1:])
+        # The headline claim: HotTiles beats IUnaware and both homogeneous
+        # executions on average.
+        assert result.avg_speedup_vs["iunaware"] > 1.0
+        assert result.avg_speedup_vs["hot-only"] > 1.0
+        assert "Runtime in ms" in result.render()
+
+
+class TestFigure11:
+    def test_piuma_comparison(self):
+        result = figures.figure11(subset=SUBSET)
+        assert result.arch_name == "piuma"
+        assert result.avg_speedup_vs["hot-only"] > 1.0
+
+
+class TestFigure12:
+    def test_scales_and_strategies(self):
+        result = figures.figure12(scales=(1, 4), subset=SUBSET)
+        scales = {r[0] for r in result.rows}
+        assert scales == {1, 4}
+        strategies = {r[1] for r in result.rows if r[0] == 4}
+        assert "hottiles" in strategies
+        assert len(strategies) == 5
+        assert set(result.bandwidth_gbs) == {1, 4}
+        assert all(v > 0 for v in result.bandwidth_gbs.values())
+
+    def test_hottiles_at_least_matches_best_heuristic(self):
+        result = figures.figure12(scales=(4,), subset=SUBSET)
+        by_strategy = {r[1]: r[2] for r in result.rows}
+        best_heuristic = max(v for k, v in by_strategy.items() if k != "hottiles")
+        assert by_strategy["hottiles"] >= 0.9 * best_heuristic
+
+
+class TestTable07:
+    def test_rows(self):
+        result = figures.table07(scales=(4,), subset=SUBSET)
+        rows = result.rows[4]
+        strategies = [r.strategy for r in rows]
+        assert strategies == ["hot-only", "cold-only", "iunaware", "hottiles"]
+        hot_only = rows[0]
+        assert hot_only.cold_gflops == 0.0  # cold workers idle in HotOnly
+        cold_only = rows[1]
+        assert cold_only.hot_gflops == 0.0
+        assert "Table VII" in result.render()
+
+    def test_hottiles_reduces_lines_per_nnz_vs_hotonly(self):
+        result = figures.table07(scales=(4,), subset=SUBSET)
+        rows = {r.strategy: r for r in result.rows[4]}
+        assert rows["hottiles"].cache_lines_per_nnz < rows["hot-only"].cache_lines_per_nnz
+
+
+class TestFigure13:
+    def test_heterogeneous_beats_doubled_hot(self):
+        result = figures.figure13(subset=SUBSET)
+        assert len(result.rows) == len(SUBSET)
+        assert result.avg_vs_hot8 > 1.0
+        assert "Fig. 13" in result.render()
+
+
+class TestFigure14:
+    def test_intensity_sweep_trends(self):
+        result = figures.figure14(ops_sweep=(1, 16), subset=SUBSET)
+        assert len(result.rows) == 2
+        low, high = result.rows
+        # More arithmetic intensity -> more nonzeros on the hot worker and
+        # a better ratio vs ColdOnly (the paper's crossover trend).
+        assert high[3] >= low[3]
+        assert high[2] >= low[2]
+        # At low AI the PCIe-hobbled HotOnly loses badly.
+        assert low[1] > 1.0
+
+
+class TestFigure15:
+    def test_dense_set(self):
+        result = figures.figure15(scales=(4,), subset=("mou", "gea"))
+        comp = result.per_scale[4]
+        assert len(comp.runtimes_ms) == 2
+        assert comp.avg_speedup_vs["cold-only"] > 1.0
+
+
+class TestFigure16AndTable09:
+    def test_isoscale_sweep(self):
+        result = figures.figure16(subset=("pap",))
+        names = [r[0] for r in result.rows]
+        assert names == [f"{c}-{8-c}" for c in range(9)]
+        base = dict((r[0], r) for r in result.rows)["4-4"]
+        assert base[1] == pytest.approx(1.0)
+        assert base[2] == pytest.approx(1.0)
+        assert result.predicted_best in names
+        assert "Fig. 16" in result.render()
+
+    def test_table09_oracle_dominates(self):
+        result = figures.table09(subset=("pap",))
+        for _m, _p, pred_speedup, _a, oracle_speedup, correct in result.rows:
+            assert oracle_speedup >= pred_speedup - 1e-9
+            if correct:
+                assert pred_speedup == pytest.approx(oracle_speedup)
+        assert "Table IX" in result.render()
+
+
+class TestFigure17:
+    def test_errors_bounded(self):
+        result = figures.figure17(subset=SUBSET)
+        assert len(result.rows) == 2 * len(SUBSET)
+        for _arch, _m, e_hot, e_cold, e_ht in result.rows:
+            assert 0 <= e_hot < 100
+            assert 0 <= e_cold < 100
+            assert 0 <= e_ht < 100
+        assert "average error" in result.render()
+
+
+class TestFigure18:
+    def test_cost_breakdown(self):
+        result = figures.figure18(subset=SUBSET)
+        assert len(result.rows) == len(SUBSET)
+        for _m, fmt_share, overhead_share, slowdown in result.rows:
+            assert fmt_share + overhead_share == pytest.approx(1.0)
+            assert slowdown >= 1.0
+        assert 0 < result.avg_overhead_fraction < 1

@@ -1,0 +1,75 @@
+"""Benchmark matrix registry tests."""
+
+import pytest
+
+from repro.experiments.matrices import (
+    ALL_MATRICES,
+    TABLE_V,
+    TABLE_VIII,
+    load_matrix,
+    profiling_matrices,
+)
+from repro.sparse.stats import nnz_share_of_top_tiles
+from repro.sparse.tiling import TiledMatrix
+
+
+class TestRegistry:
+    def test_table_v_has_ten_entries(self):
+        assert len(TABLE_V) == 10
+        assert list(TABLE_V) == [
+            "ski", "pap", "del", "dgr", "kro", "myc", "pac", "ser", "pok", "wik",
+        ]
+
+    def test_table_viii_has_five_entries(self):
+        assert list(TABLE_VIII) == ["gea", "mou", "nd2", "rm0", "si4"]
+
+    def test_no_short_name_collisions(self):
+        assert len(ALL_MATRICES) == len(TABLE_V) + len(TABLE_VIII)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            load_matrix("nope")
+
+    def test_loading_is_cached(self):
+        assert load_matrix("pap") is load_matrix("pap")
+
+    def test_paper_metadata_recorded(self):
+        ski = TABLE_V["ski"]
+        assert ski.full_name == "as-Skitter"
+        assert ski.paper_nnz_millions == 22
+
+
+@pytest.mark.parametrize("short", list(TABLE_V))
+class TestTableVMatrices:
+    def test_square_and_nonzero(self, short):
+        m = load_matrix(short)
+        assert m.n_rows == m.n_cols
+        assert m.nnz > 100_000
+
+    def test_scaled_nnz_near_target(self, short):
+        """nnz lands within 3x of paper_nnz / 64 (myc uses the nearest
+        exact Mycielskian order, so the band is loose)."""
+        entry = TABLE_V[short]
+        target = entry.paper_nnz_millions * 1e6 / 64
+        assert target / 3 <= entry.load().nnz <= target * 3
+
+
+class TestStructure:
+    def test_myc_is_densest_of_table_v(self):
+        densities = {s: load_matrix(s).density for s in TABLE_V}
+        assert max(densities, key=densities.get) == "myc"
+
+    def test_power_law_matrices_have_imh(self):
+        for short in ("ski", "pok", "wik", "kro"):
+            tiled = TiledMatrix(load_matrix(short), 128, 128)
+            assert nnz_share_of_top_tiles(tiled, 0.1) > 0.2
+
+    def test_table_viii_denser_than_table_v_median(self):
+        dense_med = sorted(load_matrix(s).density for s in TABLE_VIII)[2]
+        sparse_med = sorted(load_matrix(s).density for s in TABLE_V)[5]
+        assert dense_med > sparse_med
+
+    def test_profiling_matrices_are_small(self):
+        mats = profiling_matrices()
+        assert len(mats) >= 2
+        assert all(m.nnz < 100_000 for m in mats)

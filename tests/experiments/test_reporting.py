@@ -1,0 +1,56 @@
+"""Text reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import format_assignment_map, format_table, geomean
+
+
+class TestGeomean:
+    def test_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            geomean([1.0, 0.0])
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bee"], [(1, 2.5), ("xx", 0.001)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bee" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(1234.5,), (0.001234,), (0.5,)])
+        assert "1.23e+03" in text
+        assert "0.00123" in text
+        assert "0.50" in text
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestAssignmentMap:
+    def test_symbols(self):
+        density = np.array([[0, 5], [3, 0]])
+        hot = np.array([[False, True], [False, False]])
+        text = format_assignment_map(density, hot)
+        assert text.splitlines() == [" #", ". "]
+
+    def test_downsampling(self):
+        density = np.ones((100, 100), dtype=np.int64)
+        hot = np.zeros((100, 100), dtype=bool)
+        text = format_assignment_map(density, hot, max_dim=10)
+        assert len(text.splitlines()) <= 34
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            format_assignment_map(np.ones((2, 2)), np.ones((3, 3), dtype=bool))

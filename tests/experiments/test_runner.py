@@ -1,0 +1,105 @@
+"""Strategy runner tests (uses small matrices; calibration is cached)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    COLD_ONLY,
+    HOT_ONLY,
+    HOTTILES,
+    IUNAWARE,
+    calibrated,
+    evaluate_heuristics,
+    evaluate_matrix,
+)
+from repro.sparse import generators
+from tests.core.test_partition import tiny_arch
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return generators.community_blocks(256, 6000, 8, seed=20)
+
+
+@pytest.fixture(scope="module")
+def run(matrix):
+    return evaluate_matrix(tiny_arch(), matrix, calibrate=False)
+
+
+class TestEvaluateMatrix:
+    def test_all_strategies_present(self, run):
+        assert set(run.outcomes) == {HOT_ONLY, COLD_ONLY, IUNAWARE, HOTTILES}
+
+    def test_times_positive(self, run):
+        assert all(o.time_s > 0 for o in run.outcomes.values())
+
+    def test_best_and_worst_homogeneous(self, run):
+        assert run.best_homogeneous_s == min(run.time(HOT_ONLY), run.time(COLD_ONLY))
+        assert run.worst_homogeneous_s == max(run.time(HOT_ONLY), run.time(COLD_ONLY))
+
+    def test_speedup_math(self, run):
+        s = run.speedup_over(HOTTILES, run.worst_homogeneous_s)
+        assert s == pytest.approx(run.worst_homogeneous_s / run.time(HOTTILES))
+
+    def test_predictions_recorded_for_modeled_strategies(self, run):
+        assert run.outcomes[HOT_ONLY].predicted_s is not None
+        assert run.outcomes[COLD_ONLY].predicted_s is not None
+        assert run.outcomes[HOTTILES].predicted_s is not None
+        assert run.outcomes[IUNAWARE].predicted_s is None
+        assert run.outcomes[IUNAWARE].prediction_error is None
+
+    def test_prediction_error_definition(self, run):
+        o = run.outcomes[HOTTILES]
+        assert o.prediction_error == pytest.approx(
+            abs(o.predicted_s - o.time_s) / o.time_s
+        )
+
+    def test_hot_nnz_fraction_extremes(self, run):
+        assert run.outcomes[HOT_ONLY].hot_nnz_fraction == 1.0
+        assert run.outcomes[COLD_ONLY].hot_nnz_fraction == 0.0
+        assert 0.0 <= run.outcomes[HOTTILES].hot_nnz_fraction <= 1.0
+
+    def test_partition_attached(self, run):
+        assert run.partition is not None
+
+    def test_homogeneous_only_arch(self, matrix):
+        run = evaluate_matrix(tiny_arch(n_hot=0), matrix, calibrate=False)
+        assert set(run.outcomes) == {COLD_ONLY, HOTTILES}
+
+    def test_unknown_strategy_rejected(self, matrix):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            evaluate_matrix(
+                tiny_arch(), matrix, calibrate=False, strategies=("bogus",)
+            )
+
+
+class TestCalibration:
+    def test_calibrated_is_cached(self):
+        arch = tiny_arch()
+        assert calibrated(arch) is calibrated(arch)
+
+    def test_calibration_changes_vis_lat(self):
+        arch = tiny_arch()
+        out = calibrated(arch)
+        assert (
+            out.cold.traits.vis_lat_s_per_byte != arch.cold.traits.vis_lat_s_per_byte
+            or out.hot.traits.vis_lat_s_per_byte != arch.hot.traits.vis_lat_s_per_byte
+        )
+
+    def test_calibration_reduces_homogeneous_error(self, matrix):
+        raw = evaluate_matrix(tiny_arch(), matrix, calibrate=False)
+        cal = evaluate_matrix(tiny_arch(), matrix, calibrate=True)
+        raw_err = raw.outcomes[COLD_ONLY].prediction_error
+        cal_err = cal.outcomes[COLD_ONLY].prediction_error
+        assert cal_err <= raw_err * 1.5 + 0.05  # calibration should not blow up
+
+
+class TestEvaluateHeuristics:
+    def test_all_heuristics_timed(self, matrix):
+        times = evaluate_heuristics(tiny_arch(), matrix, calibrate=False)
+        assert HOTTILES in times
+        assert len(times) == 5  # four heuristics + the selection
+        assert all(t > 0 for t in times.values())
+
+    def test_parallel_only_on_atomic_arch(self, matrix):
+        times = evaluate_heuristics(tiny_arch(atomic=True), matrix, calibrate=False)
+        assert len(times) == 3  # two parallel heuristics + selection

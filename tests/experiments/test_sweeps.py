@@ -1,0 +1,70 @@
+"""Parameter sweep tests."""
+
+import pytest
+
+from repro.arch.configs import spade_sextans
+from repro.experiments.sweeps import bandwidth_sweep, cold_count_sweep, k_sweep
+from repro.sparse import generators
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return generators.rmat(scale=11, nnz=25_000, seed=51)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return spade_sextans(4)
+
+
+class TestBandwidthSweep:
+    def test_more_bandwidth_never_hurts_hottiles(self, arch, matrix):
+        result = bandwidth_sweep(arch, matrix, [0.25, 1.0, 4.0])
+        ht = result.hottiles_ms()
+        assert ht[0] >= ht[1] >= ht[2] * 0.99
+
+    def test_rows_and_render(self, arch, matrix):
+        result = bandwidth_sweep(arch, matrix, [1.0])
+        assert len(result.rows) == 1
+        assert "bandwidth factor" in result.render()
+
+    def test_invalid_factors(self, arch, matrix):
+        with pytest.raises(ValueError, match="positive"):
+            bandwidth_sweep(arch, matrix, [])
+        with pytest.raises(ValueError, match="positive"):
+            bandwidth_sweep(arch, matrix, [0.0])
+
+
+class TestKSweep:
+    def test_larger_k_costs_more(self, arch, matrix):
+        result = k_sweep(arch, matrix, [8, 64])
+        assert result.hottiles_ms()[1] > result.hottiles_ms()[0]
+
+    def test_hottiles_wins_at_every_k(self, arch, matrix):
+        result = k_sweep(arch, matrix, [8, 32])
+        for _k, hot, cold, ht in result.rows:
+            assert ht <= min(hot, cold) * 1.4
+
+    def test_invalid_ks(self, arch, matrix):
+        with pytest.raises(ValueError, match="positive"):
+            k_sweep(arch, matrix, [0])
+
+
+class TestColdCountSweep:
+    def test_strategy_times_recorded(self, arch, matrix):
+        result = cold_count_sweep(arch, matrix, [4, 16])
+        assert len(result.rows) == 2
+        assert all(v > 0 for row in result.rows for v in row[1:])
+
+    def test_cold_only_improves_with_more_workers(self, arch, matrix):
+        result = cold_count_sweep(arch, matrix, [2, 8])
+        cold_times = [row[2] for row in result.rows]
+        assert cold_times[1] < cold_times[0]
+
+    def test_best_strategy_helper(self, arch, matrix):
+        result = cold_count_sweep(arch, matrix, [8])
+        assert result.best_strategy_per_point()[0] in {"hot-only", "cold-only", "hottiles"}
+
+    def test_invalid_counts(self, arch, matrix):
+        with pytest.raises(ValueError, match="positive"):
+            cold_count_sweep(arch, matrix, [0])

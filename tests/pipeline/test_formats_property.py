@@ -1,0 +1,69 @@
+"""Property-based tests: format generation preserves SpMM for any matrix
+and any partition, for every worker-format combination."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.formats import build_format
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.tiling import TiledMatrix
+from repro.workers import piuma_mtp, piuma_stp, sextans, spade_pe
+
+
+@st.composite
+def tiled_matrices(draw):
+    n = draw(st.integers(min_value=5, max_value=40))
+    nnz = draw(st.integers(min_value=1, max_value=80))
+    rows = np.array(draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)))
+    cols = np.array(draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)))
+    vals = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=-4, max_value=4, allow_nan=False),
+                min_size=nnz,
+                max_size=nnz,
+            )
+        ),
+        dtype=np.float32,
+    )
+    matrix = SparseMatrix(n, n, rows, cols, vals)
+    th = draw(st.sampled_from([3, 4, 8]))
+    tw = draw(st.sampled_from([3, 4, 8]))
+    return TiledMatrix(matrix, th, tw)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiled=tiled_matrices(), seed=st.integers(0, 2**16))
+def test_partitioned_coo_formats_preserve_spmm(tiled, seed):
+    rng = np.random.default_rng(seed)
+    assignment = rng.random(tiled.n_tiles) < 0.5
+    hot_fmt = build_format(tiled, assignment, sextans(4))
+    cold_fmt = build_format(tiled, ~assignment, spade_pe())
+    din = rng.standard_normal((tiled.matrix.n_cols, 3)).astype(np.float32)
+    merged = hot_fmt.spmm(din) + cold_fmt.spmm(din)
+    np.testing.assert_allclose(merged, tiled.matrix.spmm(din), rtol=1e-3, atol=1e-3)
+    assert hot_fmt.nnz + cold_fmt.nnz == tiled.matrix.nnz
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiled=tiled_matrices(), seed=st.integers(0, 2**16))
+def test_partitioned_csr_formats_preserve_spmm(tiled, seed):
+    rng = np.random.default_rng(seed)
+    assignment = rng.random(tiled.n_tiles) < 0.5
+    hot_fmt = build_format(tiled, assignment, piuma_stp())
+    cold_fmt = build_format(tiled, ~assignment, piuma_mtp())
+    din = rng.standard_normal((tiled.matrix.n_cols, 3)).astype(np.float32)
+    merged = hot_fmt.spmm(din) + cold_fmt.spmm(din)
+    np.testing.assert_allclose(merged, tiled.matrix.spmm(din), rtol=1e-3, atol=1e-3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiled=tiled_matrices())
+def test_data_items_match_table_i(tiled):
+    """Table I item counts hold exactly for the generated formats."""
+    full = np.ones(tiled.n_tiles, dtype=bool)
+    coo = build_format(tiled, full, spade_pe())
+    assert coo.data_items == 3 * tiled.matrix.nnz
+    csr = build_format(tiled, full, piuma_mtp())
+    assert csr.data_items == tiled.matrix.n_rows + 2 * tiled.matrix.nnz

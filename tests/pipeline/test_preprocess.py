@@ -1,0 +1,73 @@
+"""End-to-end preprocessing pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.cost import PreprocessCost
+from repro.pipeline.preprocess import HotTilesPreprocessor
+from repro.sparse import generators
+from tests.core.test_partition import tiny_arch
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return generators.community_blocks(128, 3000, 8, seed=6)
+
+
+class TestPipeline:
+    def test_run_produces_formats_and_partition(self, matrix):
+        result = HotTilesPreprocessor(tiny_arch()).run(matrix)
+        assert result.partition.chosen is not None
+        assignment = result.partition.chosen.assignment
+        if assignment.any():
+            assert result.hot_format is not None
+        if (~assignment).any():
+            assert result.cold_format is not None
+
+    def test_verify_spmm_matches_reference(self, matrix):
+        result = HotTilesPreprocessor(tiny_arch()).run(matrix)
+        rng = np.random.default_rng(7)
+        din = rng.standard_normal((matrix.n_cols, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            result.verify_spmm(din), matrix.spmm(din), rtol=1e-4, atol=1e-4
+        )
+
+    def test_nnz_split_is_exact(self, matrix):
+        result = HotTilesPreprocessor(tiny_arch()).run(matrix)
+        hot_nnz = result.hot_format.nnz if result.hot_format else 0
+        cold_nnz = result.cold_format.nnz if result.cold_format else 0
+        assert hot_nnz + cold_nnz == matrix.nnz
+
+    def test_cost_fields_populated(self, matrix):
+        cost = HotTilesPreprocessor(tiny_arch()).run(matrix).cost
+        assert cost.scan_s > 0
+        assert cost.partition_s > 0
+        assert cost.format_generation_s > 0
+        assert cost.total_s == pytest.approx(
+            cost.scan_s + cost.partition_s + cost.format_generation_s
+        )
+
+    def test_homogeneous_architecture(self, matrix):
+        result = HotTilesPreprocessor(tiny_arch(n_hot=0)).run(matrix)
+        assert result.hot_format is None
+        assert result.cold_format.nnz == matrix.nnz
+
+
+class TestCostModel:
+    def test_overhead_fraction_bounds(self):
+        cost = PreprocessCost(1.0, 2.0, 3.0, 2.0)
+        assert cost.total_s == pytest.approx(6.0)
+        assert cost.hottiles_overhead_s == pytest.approx(4.0)
+        assert 0 <= cost.overhead_fraction <= 1
+
+    def test_slowdown(self):
+        cost = PreprocessCost(1.0, 1.0, 2.0, 1.0)
+        assert cost.slowdown_vs_homogeneous == pytest.approx(4.0)
+
+    def test_zero_baseline(self):
+        cost = PreprocessCost(1.0, 0.0, 0.0, 0.0)
+        assert cost.slowdown_vs_homogeneous == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PreprocessCost(-1.0, 0.0, 0.0, 0.0)

@@ -1,0 +1,73 @@
+"""Format/assignment serialization round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.formats import build_format
+from repro.pipeline.serialize import (
+    load_assignment,
+    load_format,
+    save_assignment,
+    save_format,
+)
+from repro.sparse import generators
+from repro.sparse.tiling import TiledMatrix
+from repro.workers import piuma_mtp, piuma_stp, sextans, spade_pe
+
+
+@pytest.fixture(scope="module")
+def tiled():
+    return TiledMatrix(generators.rmat(scale=8, nnz=1200, seed=41), 32, 32)
+
+
+@pytest.mark.parametrize(
+    "worker_factory", [spade_pe, lambda: sextans(4), piuma_mtp, piuma_stp]
+)
+def test_format_roundtrip(tmp_path, tiled, worker_factory):
+    worker = worker_factory()
+    fmt = build_format(tiled, np.ones(tiled.n_tiles, dtype=bool), worker)
+    path = tmp_path / "fmt.npz"
+    save_format(fmt, path)
+    loaded = load_format(path)
+    assert type(loaded) is type(fmt)
+    din = np.random.default_rng(1).standard_normal((tiled.matrix.n_cols, 4)).astype(
+        np.float32
+    )
+    np.testing.assert_allclose(loaded.spmm(din), fmt.spmm(din), rtol=1e-5, atol=1e-5)
+
+
+def test_format_roundtrip_preserves_every_field(tmp_path, tiled):
+    fmt = build_format(tiled, np.ones(tiled.n_tiles, dtype=bool), piuma_stp())
+    path = tmp_path / "stp.npz"
+    save_format(fmt, path)
+    loaded = load_format(path)
+    for name in fmt.__dataclass_fields__:
+        a, b = getattr(fmt, name), getattr(loaded, name)
+        if isinstance(a, np.ndarray):
+            assert np.array_equal(a, b), name
+        else:
+            assert a == b, name
+
+
+def test_load_rejects_foreign_npz(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez(path, stuff=np.arange(3))
+    with pytest.raises(ValueError, match="not a saved HotTiles format"):
+        load_format(path)
+
+
+def test_assignment_roundtrip(tmp_path):
+    assignment = np.array([True, False, True])
+    path = tmp_path / "assign.npz"
+    save_assignment(assignment, path, label="min-byte-parallel", mode="parallel")
+    loaded, label, mode = load_assignment(path)
+    assert np.array_equal(loaded, assignment)
+    assert label == "min-byte-parallel"
+    assert mode == "parallel"
+
+
+def test_assignment_rejects_foreign(tmp_path):
+    path = tmp_path / "x.npz"
+    np.savez(path, other=np.arange(2))
+    with pytest.raises(ValueError, match="not a saved assignment"):
+        load_assignment(path)

@@ -1,0 +1,75 @@
+"""Windowed-LRU cache approximation tests."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import exact_lru_misses, windowed_lru_misses
+
+
+class TestWindowedLru:
+    def test_all_miss_without_cache(self):
+        assert windowed_lru_misses(np.array([1, 1, 1]), 0).all()
+
+    def test_empty_sequence(self):
+        assert windowed_lru_misses(np.zeros(0, dtype=np.int64), 4).shape == (0,)
+
+    def test_immediate_repeat_hits(self):
+        misses = windowed_lru_misses(np.array([7, 7, 7, 7]), 1)
+        assert misses.tolist() == [True, False, False, False]
+
+    def test_gap_beyond_capacity_misses(self):
+        # 5 and the next 5 are 3 apart; capacity 2 -> miss.
+        ids = np.array([5, 1, 2, 5])
+        assert windowed_lru_misses(ids, 2).tolist() == [True, True, True, True]
+        assert windowed_lru_misses(ids, 3).tolist() == [True, True, True, False]
+
+    def test_first_access_always_misses(self):
+        ids = np.array([1, 2, 3, 4])
+        assert windowed_lru_misses(ids, 100).all()
+
+    def test_matches_exact_lru_on_distinct_interleave(self):
+        # When every interleaved id is distinct, window == true LRU.
+        ids = np.array([1, 2, 3, 1, 2, 3])
+        for cap in (1, 2, 3, 4):
+            np.testing.assert_array_equal(
+                windowed_lru_misses(ids, cap), exact_lru_misses(ids, cap)
+            )
+
+
+class TestExactLru:
+    def test_classic_eviction(self):
+        # Capacity 2: access 1,2,3 evicts 1, so the second 1 misses.
+        ids = np.array([1, 2, 3, 1])
+        assert exact_lru_misses(ids, 2).tolist() == [True, True, True, True]
+
+    def test_mru_protection(self):
+        # Capacity 2: 1,2,1,3 keeps 1 (recently used), evicts 2.
+        ids = np.array([1, 2, 1, 3, 1])
+        assert exact_lru_misses(ids, 2).tolist() == [True, True, False, True, False]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ids=st.lists(st.integers(min_value=0, max_value=12), min_size=0, max_size=64),
+    capacity=st.integers(min_value=0, max_value=16),
+)
+def test_window_never_over_credits_lru(ids, capacity):
+    """Property: every windowed hit is a true-LRU hit (the approximation is
+    conservative), so window misses >= exact misses pointwise."""
+    arr = np.array(ids, dtype=np.int64)
+    window = windowed_lru_misses(arr, capacity)
+    exact = exact_lru_misses(arr, capacity)
+    # window hit (False) implies exact hit (False).
+    assert window.shape == exact.shape
+    assert not np.any(~window & exact)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ids=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=40),
+)
+def test_infinite_capacity_misses_once_per_distinct_id(ids):
+    arr = np.array(ids, dtype=np.int64)
+    misses = windowed_lru_misses(arr, capacity_rows=10_000)
+    assert misses.sum() == np.unique(arr).size

@@ -1,0 +1,86 @@
+"""Max-min fair bandwidth allocation tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.memory import allocate_rates
+
+
+class TestBasicAllocation:
+    def test_single_user_gets_min_of_cap_and_bw(self):
+        assert allocate_rates(np.array([50.0]), 100.0)[0] == pytest.approx(50.0)
+        assert allocate_rates(np.array([150.0]), 100.0)[0] == pytest.approx(100.0)
+
+    def test_idle_users_get_nothing(self):
+        rates = allocate_rates(np.array([0.0, 40.0]), 100.0)
+        assert rates[0] == 0.0
+        assert rates[1] == pytest.approx(40.0)
+
+    def test_equal_split_under_contention(self):
+        rates = allocate_rates(np.array([100.0, 100.0]), 100.0)
+        np.testing.assert_allclose(rates, [50.0, 50.0])
+
+    def test_conservation(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            caps = rng.random(8) * 40
+            rates = allocate_rates(caps, 100.0)
+            assert rates.sum() <= 100.0 + 1e-6
+            assert np.all(rates <= caps + 1e-9)
+
+    def test_no_contention_all_satisfied(self):
+        caps = np.array([10.0, 20.0, 30.0])
+        np.testing.assert_allclose(allocate_rates(caps, 100.0), caps)
+
+    def test_max_min_fairness_property(self):
+        """Small users are fully satisfied; big users split the rest."""
+        caps = np.array([10.0, 80.0, 80.0])
+        rates = allocate_rates(caps, 100.0)
+        np.testing.assert_allclose(rates, [10.0, 45.0, 45.0])
+
+    def test_full_bandwidth_used_when_demanded(self):
+        rates = allocate_rates(np.array([70.0, 70.0, 70.0]), 100.0)
+        assert rates.sum() == pytest.approx(100.0)
+
+
+class TestPcie:
+    def test_pcie_caps_members_only(self):
+        caps = np.array([50.0, 50.0])
+        pcie = np.array([True, False])
+        rates = allocate_rates(caps, 200.0, pcie, 20.0)
+        assert rates[0] == pytest.approx(20.0)
+        assert rates[1] == pytest.approx(50.0)
+
+    def test_pcie_shared_among_members(self):
+        caps = np.array([50.0, 50.0, 50.0])
+        pcie = np.array([True, True, False])
+        rates = allocate_rates(caps, 200.0, pcie, 20.0)
+        np.testing.assert_allclose(rates[:2], [10.0, 10.0])
+        assert rates[2] == pytest.approx(50.0)
+
+    def test_pcie_requires_bandwidth(self):
+        with pytest.raises(ValueError, match="pcie"):
+            allocate_rates(np.array([1.0]), 10.0, np.array([True]), None)
+
+    def test_main_bw_still_binds_with_pcie(self):
+        caps = np.array([100.0, 100.0])
+        pcie = np.array([True, False])
+        rates = allocate_rates(caps, 60.0, pcie, 50.0)
+        assert rates.sum() <= 60.0 + 1e-9
+
+
+class TestValidation:
+    def test_negative_caps_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            allocate_rates(np.array([-1.0]), 10.0)
+
+    def test_zero_bw_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            allocate_rates(np.array([1.0]), 0.0)
+
+    def test_2d_caps_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            allocate_rates(np.ones((2, 2)), 10.0)
+
+    def test_empty(self):
+        assert allocate_rates(np.zeros(0), 10.0).shape == (0,)

@@ -1,0 +1,69 @@
+"""Property-based tests for max-min fair bandwidth allocation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.memory import allocate_rates
+
+
+@st.composite
+def allocation_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    caps = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    bw = draw(st.floats(min_value=1.0, max_value=300.0, allow_nan=False))
+    return caps, bw
+
+
+@settings(max_examples=200, deadline=None)
+@given(case=allocation_cases())
+def test_feasibility(case):
+    """Rates never exceed individual caps or the shared capacity."""
+    caps, bw = case
+    rates = allocate_rates(caps, bw)
+    assert np.all(rates <= caps + 1e-9)
+    assert rates.sum() <= bw + 1e-6
+    assert np.all(rates >= 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(case=allocation_cases())
+def test_work_conservation(case):
+    """Either every demand is satisfied or the pipe is full."""
+    caps, bw = case
+    rates = allocate_rates(caps, bw)
+    fully_satisfied = np.allclose(rates, caps, atol=1e-9)
+    pipe_full = rates.sum() >= bw - 1e-6
+    assert fully_satisfied or pipe_full
+
+
+@settings(max_examples=200, deadline=None)
+@given(case=allocation_cases())
+def test_max_min_fairness(case):
+    """No unsatisfied user receives less than any other user's rate
+    (the defining property of max-min fairness for a single resource)."""
+    caps, bw = case
+    rates = allocate_rates(caps, bw)
+    unsatisfied = rates < caps - 1e-9
+    if not unsatisfied.any():
+        return
+    floor = rates[unsatisfied].min()
+    assert np.all(rates <= floor + 1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(case=allocation_cases(), extra=st.floats(min_value=1.0, max_value=100.0))
+def test_monotone_in_capacity(case, extra):
+    """More bandwidth never reduces anyone's rate."""
+    caps, bw = case
+    before = allocate_rates(caps, bw)
+    after = allocate_rates(caps, bw + extra)
+    assert np.all(after >= before - 1e-6)

@@ -1,0 +1,93 @@
+"""Utilization aggregation tests."""
+
+import pytest
+
+from repro.core.traits import WorkerKind
+from repro.sim.engine import simulate_homogeneous
+from repro.sim.trace import geomean, utilization_row
+from tests.core.test_partition import mixed_tiled, tiny_arch
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_all_zero(self):
+        assert geomean([0.0, 0.0]) == 0.0
+
+    def test_mixed_zero_floored(self):
+        # One idle entry must not annihilate the aggregate.
+        assert geomean([0.0, 100.0], floor=1.0) == pytest.approx(10.0)
+
+
+class TestUtilizationRow:
+    def test_row_fields(self):
+        tiled = mixed_tiled()
+        arch = tiny_arch()
+        results = [
+            simulate_homogeneous(arch, tiled, WorkerKind.COLD),
+            simulate_homogeneous(arch, tiled, WorkerKind.COLD),
+        ]
+        row = utilization_row("cold-only", results, [tiled.matrix.nnz] * 2)
+        assert row.strategy == "cold-only"
+        assert row.bandwidth_gbs > 0
+        assert row.cache_lines_per_nnz > 0
+        assert row.cold_gflops > 0
+        assert row.hot_gflops == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="one nnz count"):
+            utilization_row("x", [], [])
+
+
+class TestBandwidthProfile:
+    def test_profile_recorded_and_consistent(self):
+        from repro.sim.trace import bandwidth_sparkline
+
+        tiled = mixed_tiled()
+        result = simulate_homogeneous(tiny_arch(), tiled, WorkerKind.COLD)
+        profile = result.bandwidth_profile
+        assert profile
+        # Interval ends are increasing and finish at the makespan.
+        ends = [t for t, _ in profile]
+        assert all(a <= b + 1e-15 for a, b in zip(ends, ends[1:]))
+        assert ends[-1] == pytest.approx(result.time_s)
+        # Integrating the profile recovers the total bytes moved.
+        total = 0.0
+        prev = 0.0
+        for t, bw in profile:
+            total += (t - prev) * bw
+            prev = t
+        assert total == pytest.approx(result.bytes_total, rel=1e-6)
+
+    def test_sparkline_shape(self):
+        from repro.sim.trace import bandwidth_sparkline
+
+        tiled = mixed_tiled()
+        result = simulate_homogeneous(tiny_arch(), tiled, WorkerKind.COLD)
+        line = bandwidth_sparkline(result, buckets=30)
+        assert len(line) == 30
+        assert any(c != " " for c in line)
+
+    def test_sparkline_validates_buckets(self):
+        from repro.sim.trace import bandwidth_sparkline
+
+        tiled = mixed_tiled()
+        result = simulate_homogeneous(tiny_arch(), tiled, WorkerKind.COLD)
+        with pytest.raises(ValueError, match="buckets"):
+            bandwidth_sparkline(result, buckets=0)
+
+    def test_serial_profile_spans_both_phases(self):
+        import numpy as np
+        from repro.core.partition import ExecutionMode
+        from repro.sim.engine import simulate
+
+        tiled = mixed_tiled()
+        arch = tiny_arch()
+        assignment = tiled.stats.nnz > np.median(tiled.stats.nnz)
+        result = simulate(arch, tiled, assignment, ExecutionMode.SERIAL)
+        ends = [t for t, _ in result.bandwidth_profile]
+        assert ends[-1] == pytest.approx(result.time_s)

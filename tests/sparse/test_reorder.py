@@ -1,0 +1,92 @@
+"""Reordering tests: permutation validity and structural effect."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import generators
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.reorder import (
+    bfs_permutation,
+    degree_sort_permutation,
+    reorder_symmetric,
+)
+
+
+def bandwidth(matrix):
+    return int(np.abs(matrix.rows - matrix.cols).max()) if matrix.nnz else 0
+
+
+class TestDegreeSort:
+    def test_is_permutation(self, small_rmat):
+        perm = degree_sort_permutation(small_rmat)
+        assert np.array_equal(np.sort(perm), np.arange(small_rmat.n_rows))
+
+    def test_densest_row_moves_first(self, small_rmat):
+        perm = degree_sort_permutation(small_rmat)
+        degrees = small_rmat.row_degrees() + small_rmat.col_degrees()
+        heaviest = int(np.argmax(degrees))
+        assert perm[heaviest] == 0
+
+    def test_ascending_order(self, small_rmat):
+        perm = degree_sort_permutation(small_rmat, descending=False)
+        degrees = small_rmat.row_degrees() + small_rmat.col_degrees()
+        lightest = int(np.argmin(degrees))
+        assert perm[lightest] == 0
+
+    def test_reorder_preserves_spmm_modulo_permutation(self, small_rmat):
+        perm = degree_sort_permutation(small_rmat)
+        reordered = reorder_symmetric(small_rmat, perm)
+        rng = np.random.default_rng(3)
+        din = rng.standard_normal((small_rmat.n_cols, 4)).astype(np.float32)
+        din_perm = np.empty_like(din)
+        din_perm[perm] = din
+        out = small_rmat.spmm(din)
+        out_perm = reordered.spmm(din_perm)
+        np.testing.assert_allclose(out_perm[perm], out, rtol=1e-4, atol=1e-4)
+
+    def test_concentrates_power_law_corner(self):
+        m = generators.rmat(scale=11, nnz=20_000, seed=1)
+        perm = degree_sort_permutation(m)
+        reordered = reorder_symmetric(m, perm)
+        corner = int(
+            np.count_nonzero((reordered.rows < 256) & (reordered.cols < 256))
+        )
+        original_corner = int(np.count_nonzero((m.rows < 256) & (m.cols < 256)))
+        assert corner > original_corner
+
+
+class TestBfs:
+    def test_is_permutation(self, small_banded):
+        perm = bfs_permutation(small_banded)
+        assert np.array_equal(np.sort(perm), np.arange(small_banded.n_rows))
+
+    def test_requires_square(self):
+        m = SparseMatrix(2, 3, [0], [2])
+        with pytest.raises(ValueError, match="square"):
+            bfs_permutation(m)
+
+    def test_reduces_bandwidth_of_shuffled_band(self):
+        base = generators.stencil(600, [-2, -1, 0, 1, 2])
+        rng = np.random.default_rng(7)
+        shuffle = rng.permutation(600)
+        shuffled = reorder_symmetric(base, shuffle)
+        perm = bfs_permutation(shuffled)
+        recovered = reorder_symmetric(shuffled, perm)
+        assert bandwidth(recovered) < bandwidth(shuffled) / 4
+
+    def test_handles_disconnected_components(self):
+        # Two disjoint edges plus an isolated vertex.
+        m = SparseMatrix(5, 5, [0, 1, 2, 3], [1, 0, 3, 2])
+        perm = bfs_permutation(m)
+        assert np.array_equal(np.sort(perm), np.arange(5))
+
+
+class TestReorderSymmetric:
+    def test_requires_square(self):
+        m = SparseMatrix(2, 3, [0], [1])
+        with pytest.raises(ValueError, match="square"):
+            reorder_symmetric(m, np.arange(2))
+
+    def test_identity_permutation(self, small_banded):
+        n = small_banded.n_rows
+        assert reorder_symmetric(small_banded, np.arange(n)) == small_banded

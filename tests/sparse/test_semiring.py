@@ -1,0 +1,122 @@
+"""gSpMM semiring executor tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import generators
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.semiring import (
+    MAX_TIMES,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    Semiring,
+    gspmm,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    m = generators.rmat(scale=7, nnz=600, seed=71)
+    rng = np.random.default_rng(72)
+    return SparseMatrix(m.n_rows, m.n_cols, m.rows, m.cols, rng.random(m.nnz) + 0.1)
+
+
+class TestPlusTimes:
+    def test_matches_reference_spmm(self, graph):
+        din = np.random.default_rng(0).standard_normal((graph.n_cols, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            gspmm(graph, din, PLUS_TIMES), graph.spmm(din), rtol=1e-5, atol=1e-5
+        )
+
+    def test_shape_check(self, graph):
+        with pytest.raises(ValueError, match="shape"):
+            gspmm(graph, np.ones((3, 2)))
+
+
+class TestMinPlus:
+    def test_single_relaxation_step(self):
+        """min-plus gSpMM over an adjacency matrix performs one Bellman-Ford
+        relaxation: dist'[v] = min over edges (u,v)... here rows relax from
+        column distances."""
+        # Path graph 0 -> 1 -> 2 with weights 1.0, 2.0 (row = dst, col = src).
+        m = SparseMatrix(3, 3, [1, 2], [0, 1], np.array([1.0, 2.0], dtype=np.float32))
+        dist = np.array([[0.0], [np.inf], [np.inf]])
+        step1 = gspmm(m, dist, MIN_PLUS)
+        assert step1[1, 0] == pytest.approx(1.0)
+        assert np.isinf(step1[2, 0])
+        step2 = gspmm(m, np.minimum(step1, dist), MIN_PLUS)
+        assert step2[2, 0] == pytest.approx(3.0)
+
+    def test_empty_rows_hold_identity(self):
+        m = SparseMatrix(3, 3, [0], [0], np.array([5.0], dtype=np.float32))
+        out = gspmm(m, np.zeros((3, 2)), MIN_PLUS)
+        assert np.isinf(out[1]).all() and np.isinf(out[2]).all()
+        assert out[0, 0] == pytest.approx(5.0)
+
+    def test_brute_force_small(self):
+        m = generators.uniform_random(16, 16, 40, seed=3)
+        m = SparseMatrix(16, 16, m.rows, m.cols, np.arange(1.0, 41.0, dtype=np.float64))
+        din = np.random.default_rng(4).random((16, 3))
+        out = gspmm(m, din, MIN_PLUS)
+        expected = np.full((16, 3), np.inf)
+        for r, c, v in zip(m.rows, m.cols, m.vals):
+            expected[r] = np.minimum(expected[r], v + din[c])
+        np.testing.assert_allclose(out, expected)
+
+
+class TestOrAnd:
+    def test_bfs_frontier_expansion(self):
+        """or-and gSpMM over a boolean adjacency advances a BFS frontier."""
+        # Edges (dst, src): 1<-0, 2<-1.
+        m = SparseMatrix(3, 3, [1, 2], [0, 1])
+        frontier = np.array([[True], [False], [False]])
+        nxt = gspmm(m, frontier, OR_AND)
+        assert nxt[:, 0].tolist() == [False, True, False]
+
+    def test_output_is_boolean(self):
+        m = SparseMatrix(2, 2, [0], [1])
+        out = gspmm(m, np.array([[True], [True]]), OR_AND)
+        assert out.dtype == bool
+
+
+class TestMaxTimes:
+    def test_brute_force_small(self):
+        m = generators.uniform_random(12, 12, 30, seed=5)
+        rng = np.random.default_rng(6)
+        m = SparseMatrix(12, 12, m.rows, m.cols, rng.random(30))
+        din = rng.random((12, 2))
+        out = gspmm(m, din, MAX_TIMES)
+        expected = np.zeros((12, 2))
+        for r, c, v in zip(m.rows, m.cols, m.vals):
+            expected[r] = np.maximum(expected[r], v * din[c])
+        np.testing.assert_allclose(out, expected)
+
+
+class TestSemiringType:
+    def test_invalid_hint(self):
+        with pytest.raises(ValueError, match="ops_per_nnz_hint"):
+            Semiring("bad", np.add, np.multiply, 0.0, ops_per_nnz_hint=0)
+
+    def test_non_ufunc_add_rejected_at_use(self):
+        s = Semiring("lambda", lambda a, b: a + b, np.multiply, 0.0)
+        m = SparseMatrix(2, 2, [0], [0], np.array([1.0], dtype=np.float32))
+        with pytest.raises(TypeError, match="ufunc"):
+            gspmm(m, np.ones((2, 1)), s)
+
+    def test_repr(self):
+        assert "min-plus" in repr(MIN_PLUS)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**16), k=st.integers(1, 4))
+def test_plus_times_agrees_with_dense(seed, k):
+    rng = np.random.default_rng(seed)
+    m = generators.uniform_random(20, 20, 50, seed=seed)
+    m = SparseMatrix(20, 20, m.rows, m.cols, rng.random(50))
+    din = rng.random((20, k))
+    np.testing.assert_allclose(
+        gspmm(m, din, PLUS_TIMES), m.to_dense() @ din, rtol=1e-6, atol=1e-6
+    )

@@ -1,0 +1,82 @@
+"""IMH statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import generators
+from repro.sparse.stats import gini, imh_summary, nnz_share_of_top_tiles, tile_nnz_cv
+from repro.sparse.tiling import TiledMatrix
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_owner_approaches_one(self):
+        values = np.zeros(1000)
+        values[0] = 100.0
+        assert gini(values) > 0.99
+
+    def test_empty_is_zero(self):
+        assert gini(np.array([])) == 0.0
+
+    def test_all_zero_is_zero(self):
+        assert gini(np.zeros(10)) == 0.0
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(0)
+        v = rng.random(500)
+        assert gini(v) == pytest.approx(gini(v * 1000), rel=1e-9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            gini(np.array([1.0, -1.0]))
+
+    def test_known_value(self):
+        # Two values {0, x}: Gini = 1/2 for the discrete formulation.
+        assert gini(np.array([0.0, 10.0])) == pytest.approx(0.5)
+
+
+class TestTileMetrics:
+    def test_cv_zero_for_identical_tiles(self):
+        m = generators.stencil(512, [0])  # one nonzero per row
+        tiled = TiledMatrix(m, 64, 64)
+        assert tile_nnz_cv(tiled) == pytest.approx(0.0)
+
+    def test_cv_empty_matrix(self):
+        from repro.sparse.matrix import SparseMatrix
+
+        assert tile_nnz_cv(TiledMatrix(SparseMatrix.empty(64, 64), 32, 32)) == 0.0
+
+    def test_top_share_bounds(self, small_rmat):
+        tiled = TiledMatrix(small_rmat, 128, 128)
+        share = nnz_share_of_top_tiles(tiled, 0.1)
+        assert 0.0 < share <= 1.0
+        assert nnz_share_of_top_tiles(tiled, 1.0) == pytest.approx(1.0)
+
+    def test_top_share_invalid_fraction(self, tiled_rmat):
+        with pytest.raises(ValueError, match="fraction"):
+            nnz_share_of_top_tiles(tiled_rmat, 0.0)
+
+    def test_rmat_more_concentrated_than_uniform(self, small_rmat, small_uniform):
+        tr = TiledMatrix(small_rmat, 128, 128)
+        tu = TiledMatrix(small_uniform, 128, 128)
+        assert nnz_share_of_top_tiles(tr) > nnz_share_of_top_tiles(tu)
+
+
+class TestSummary:
+    def test_summary_fields(self, small_rmat):
+        tiled = TiledMatrix(small_rmat, 128, 128)
+        s = imh_summary(tiled)
+        assert s.n_tiles == tiled.n_tiles
+        assert 0 < s.occupancy <= 1
+        assert 0 <= s.gini < 1
+        assert s.mean_tile_density > 0
+
+    def test_empty_summary(self):
+        from repro.sparse.matrix import SparseMatrix
+
+        s = imh_summary(TiledMatrix(SparseMatrix.empty(64, 64), 32, 32))
+        assert s.n_tiles == 0
+        assert s.gini == 0.0
+        assert s.mean_tile_density == 0.0

@@ -1,0 +1,100 @@
+"""CLI tests."""
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_fig18_subset(self, capsys):
+        assert main(["fig18", "--subset", "ski"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 18" in out
+        assert "completed in" in out
+
+    def test_run_fig04_subset_with_seed(self, capsys):
+        assert main(["fig04", "--subset", "pap", "--seed", "3"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_fig05_single_matrix(self, capsys):
+        assert main(["fig05", "--subset", "pap"]) == 0
+        assert "Fig. 5" in capsys.readouterr().out
+
+    def test_all_experiments_registered(self):
+        assert {"fig04", "fig10", "fig16", "table09", "fig17", "fig18"} <= set(EXPERIMENTS)
+
+    def test_csv_export(self, capsys, tmp_path):
+        out = tmp_path / "rows.csv"
+        assert main(["fig18", "--subset", "ski", "--csv", str(out)]) == 0
+        assert out.exists()
+        assert len(out.read_text().splitlines()) == 2
+
+
+class TestPartitionCommand:
+    @staticmethod
+    def _write_matrix(tmp_path):
+        from repro.sparse import generators
+        from repro.sparse.mmio import write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(
+            generators.community_blocks(512, 8_000, 8, seed=2), path
+        )
+        return str(path)
+
+    def test_partition_basic(self, capsys, tmp_path):
+        path = self._write_matrix(tmp_path)
+        assert main(["partition", path]) == 0
+        out = capsys.readouterr().out
+        assert "partitioned" in out
+        assert "heuristic" in out
+
+    def test_partition_verify(self, capsys, tmp_path):
+        path = self._write_matrix(tmp_path)
+        assert main(["partition", path, "--verify"]) == 0
+        assert "verification" in capsys.readouterr().out
+
+    def test_partition_save_formats(self, capsys, tmp_path):
+        import numpy as np
+
+        path = self._write_matrix(tmp_path)
+        out_dir = tmp_path / "formats"
+        assert main(["partition", path, "--save-dir", str(out_dir)]) == 0
+        files = list(out_dir.glob("*.npz"))
+        assert files
+        loaded = np.load(files[0])
+        assert len(loaded.files) > 0
+
+    def test_partition_piuma(self, capsys, tmp_path):
+        path = self._write_matrix(tmp_path)
+        assert main(["partition", path, "--arch", "piuma"]) == 0
+        assert "piuma" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_benchmark_matrix(self, capsys):
+        assert main(["sweep", "gea", "--kind", "k", "--points", "8", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep over K" in out
+        assert "best strategy per point" in out
+
+    def test_sweep_mtx_file(self, capsys, tmp_path):
+        path = TestPartitionCommand._write_matrix(tmp_path)
+        assert main(["sweep", path, "--kind", "bandwidth", "--points", "1", "2"]) == 0
+        assert "bandwidth factor" in capsys.readouterr().out
+
+    def test_sweep_cold_count(self, capsys):
+        assert main(["sweep", "gea", "--kind", "cold-count", "--points", "4", "8"]) == 0
+        assert "cold workers" in capsys.readouterr().out
+
+    def test_sweep_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "sweep" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example runs to completion.
+
+These execute the real scripts in a subprocess (the same way a user
+would), assert a clean exit and check for the output each example
+promises.  They are the repository's guarantee that the README's
+"runnable examples" claim stays true.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["HotTiles speedup over best baseline", "simulated runtimes"],
+    "gnn_adjacency.py": ["aggregation check", "preprocessing"],
+    "architecture_exploration.py": ["predicted best", "power-law graph"],
+    "custom_accelerator.py": ["calibrated vis_lat", "chosen heuristic"],
+    "kernel_variants.py": ["gSpMM arithmetic-intensity sweep", "min-plus"],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_example_runs_clean(name):
+    stdout = run_example(name)
+    for marker in CASES[name]:
+        assert marker in stdout, f"{name} output missing {marker!r}"
+
+
+def test_every_example_has_a_smoke_test():
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(CASES), "add new examples to CASES"

@@ -1,0 +1,130 @@
+"""Cross-cutting integration tests over the whole stack.
+
+These encode the paper's *mechanisms*, not just its numbers: IMH is the
+thing HotTiles exploits, so removing IMH must remove the advantage;
+adding compute-heavy regions must move work to hot workers; and the whole
+preprocess -> partition -> simulate -> verify chain must hold for every
+architecture.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.configs import piuma, spade_sextans, spade_sextans_pcie
+from repro.core.partition import ExecutionMode, HotTilesPartitioner
+from repro.core.traits import WorkerKind
+from repro.experiments.runner import calibrated
+from repro.pipeline.preprocess import HotTilesPreprocessor
+from repro.sim.engine import simulate, simulate_homogeneous
+from repro.sparse import generators
+from repro.sparse.tiling import TiledMatrix
+
+
+class TestImhIsTheMechanism:
+    """HotTiles' win must come from intra-matrix heterogeneity."""
+
+    def test_no_imh_hottiles_collapses_to_homogeneous(self):
+        """On a uniform matrix every tile looks alike, so there is nothing
+        to exploit: HotTiles converges to an (almost) homogeneous decision
+        and matches the best homogeneous runtime."""
+        arch = calibrated(spade_sextans(4))
+        matrix = generators.uniform_random(16384, 16384, 250_000, seed=61)
+        tiled = TiledMatrix(matrix, arch.tile_height, arch.tile_width)
+        ht = HotTilesPartitioner(arch).partition(tiled).chosen
+        frac = ht.hot_nnz_fraction(tiled)
+        assert frac < 0.1 or frac > 0.9  # near-homogeneous assignment
+        ht_time = simulate(arch, tiled, ht.assignment, ht.mode).time_s
+        best = min(
+            simulate_homogeneous(arch, tiled, WorkerKind.HOT).time_s,
+            simulate_homogeneous(arch, tiled, WorkerKind.COLD).time_s,
+        )
+        assert ht_time <= best * 1.1
+
+    def test_imh_creates_the_advantage(self):
+        """The same nonzero budget with strong IMH yields a real gap over
+        the best homogeneous execution; the uniform control yields none."""
+        arch = calibrated(spade_sextans(4))
+
+        def gap(matrix):
+            tiled = TiledMatrix(matrix, arch.tile_height, arch.tile_width)
+            ht = HotTilesPartitioner(arch).partition(tiled).chosen
+            ht_time = simulate(arch, tiled, ht.assignment, ht.mode).time_s
+            best = min(
+                simulate_homogeneous(arch, tiled, WorkerKind.HOT).time_s,
+                simulate_homogeneous(arch, tiled, WorkerKind.COLD).time_s,
+            )
+            return best / ht_time
+
+        uniform_gap = gap(generators.uniform_random(16384, 16384, 250_000, seed=61))
+        imh_gap = gap(generators.community_blocks(6656, 500_000, 48, seed=61))
+        assert imh_gap > max(uniform_gap, 1.0) * 1.3
+
+
+class TestEndToEndPerArchitecture:
+    @pytest.mark.parametrize(
+        "arch_factory", [lambda: spade_sextans(4), spade_sextans_pcie, piuma]
+    )
+    def test_preprocess_partition_simulate_verify(self, arch_factory):
+        arch = arch_factory()
+        matrix = generators.community_blocks(4096, 120_000, 24, seed=62)
+        result = HotTilesPreprocessor(arch).run(matrix)
+        chosen = result.partition.chosen
+        # PIUMA's atomics restrict the heuristic set to the Parallel pair.
+        if arch.atomic_updates:
+            assert chosen.mode is ExecutionMode.PARALLEL
+        sim = simulate(arch, result.tiled, chosen.assignment, chosen.mode)
+        assert sim.time_s > 0
+        rng = np.random.default_rng(0)
+        din = rng.standard_normal((matrix.n_cols, arch.problem.k)).astype(np.float32)
+        np.testing.assert_allclose(
+            result.verify_spmm(din), matrix.spmm(din), rtol=1e-3, atol=1e-3
+        )
+
+    @pytest.mark.parametrize(
+        "arch_factory", [lambda: spade_sextans(4), piuma]
+    )
+    def test_hottiles_never_loses_badly_to_best_homogeneous(self, arch_factory):
+        arch = calibrated(arch_factory())
+        matrix = generators.rmat(scale=13, nnz=150_000, seed=63)
+        tiled = TiledMatrix(matrix, arch.tile_height, arch.tile_width)
+        chosen = HotTilesPartitioner(arch).partition(tiled).chosen
+        ht = simulate(arch, tiled, chosen.assignment, chosen.mode).time_s
+        best = min(
+            simulate_homogeneous(arch, tiled, WorkerKind.HOT).time_s,
+            simulate_homogeneous(arch, tiled, WorkerKind.COLD).time_s,
+        )
+        assert ht <= best * 1.3
+
+
+class TestDensityCrossover:
+    def test_strategy_flips_with_density(self):
+        """Sparse matrices favor cold, dense favor hot (Fig. 10 vs 15);
+        HotTiles follows both ends."""
+        arch = calibrated(spade_sextans(4))
+        sparse = generators.rmat(scale=14, nnz=150_000, seed=64)
+        dense = generators.dense_blocks(1536, 400_000, 8, 256, seed=64)
+
+        def times(matrix):
+            tiled = TiledMatrix(matrix, arch.tile_height, arch.tile_width)
+            return (
+                simulate_homogeneous(arch, tiled, WorkerKind.HOT).time_s,
+                simulate_homogeneous(arch, tiled, WorkerKind.COLD).time_s,
+            )
+
+        hot_s, cold_s = times(sparse)
+        assert cold_s < hot_s  # sparse: cold wins
+        hot_d, cold_d = times(dense)
+        assert hot_d < cold_d  # dense: hot wins
+
+    def test_hot_fraction_tracks_density(self):
+        arch = calibrated(spade_sextans(4))
+        partitioner = HotTilesPartitioner(arch)
+
+        def hot_frac(matrix):
+            tiled = TiledMatrix(matrix, arch.tile_height, arch.tile_width)
+            chosen = partitioner.partition(tiled).chosen
+            return chosen.hot_nnz_fraction(tiled)
+
+        sparse_frac = hot_frac(generators.rmat(scale=14, nnz=150_000, seed=65))
+        dense_frac = hot_frac(generators.dense_blocks(1536, 400_000, 8, 256, seed=65))
+        assert dense_frac > sparse_frac

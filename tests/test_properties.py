@@ -1,0 +1,130 @@
+"""Property-based tests over the whole modeling/partitioning/sim stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import AnalyticalModel
+from repro.core.partition import ExecutionMode, HotTilesPartitioner, first_of_type_masks
+from repro.sim.engine import simulate
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.tiling import TiledMatrix
+from tests.core.test_model import PROBLEM, cold_worker
+from tests.core.test_partition import tiny_arch
+
+
+@st.composite
+def small_matrices(draw):
+    n = draw(st.integers(min_value=4, max_value=24))
+    nnz = draw(st.integers(min_value=1, max_value=60))
+    rows = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    return SparseMatrix(n, n, np.array(rows), np.array(cols))
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=small_matrices())
+def test_tiling_conserves_nonzeros(matrix):
+    tiled = TiledMatrix(matrix, 4, 4)
+    assert tiled.stats.nnz.sum() == matrix.nnz
+    assert np.all(tiled.stats.uniq_rids <= tiled.stats.nnz)
+    assert np.all(tiled.stats.uniq_cids <= tiled.stats.nnz)
+    assert np.all(tiled.stats.uniq_rids >= 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=small_matrices())
+def test_model_costs_positive_and_monotone_in_vis_lat(matrix):
+    tiled = TiledMatrix(matrix, 4, 4)
+    model = AnalyticalModel(PROBLEM)
+    slow = cold_worker(vis_lat_s_per_byte=1e-8)
+    fast = cold_worker(vis_lat_s_per_byte=1e-12)
+    c_slow = model.tile_costs(tiled, slow)
+    c_fast = model.tile_costs(tiled, fast)
+    assert np.all(c_slow.time_s > 0)
+    assert np.all(c_slow.bytes > 0)
+    assert np.all(c_slow.time_s >= c_fast.time_s - 1e-18)
+    # Bytes do not depend on vis_lat.
+    np.testing.assert_allclose(c_slow.bytes, c_fast.bytes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=small_matrices())
+def test_first_mask_never_reduces_cost(matrix):
+    """Charging first-tile reuse can only add traffic/time."""
+    tiled = TiledMatrix(matrix, 4, 4)
+    model = AnalyticalModel(PROBLEM)
+    worker = cold_worker()
+    base = model.tile_costs(tiled, worker)
+    first = np.ones(tiled.n_tiles, dtype=bool)
+    charged = model.tile_costs(tiled, worker, first_mask=first)
+    assert np.all(charged.bytes >= base.bytes - 1e-12)
+    assert np.all(charged.time_s >= base.time_s - 1e-18)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=small_matrices(), data=st.data())
+def test_first_of_type_masks_invariants(matrix, data):
+    tiled = TiledMatrix(matrix, 4, 4)
+    bits = data.draw(
+        st.lists(st.booleans(), min_size=tiled.n_tiles, max_size=tiled.n_tiles)
+    )
+    assignment = np.array(bits, dtype=bool)
+    hot_first, cold_first = first_of_type_masks(tiled, assignment)
+    # First-tiles are subsets of their own side.
+    assert not np.any(hot_first & ~assignment)
+    assert not np.any(cold_first & assignment)
+    # Exactly one first per (panel, type) that has tiles there.
+    panels = tiled.stats.tile_row
+    for panel in np.unique(panels):
+        in_panel = panels == panel
+        if (assignment & in_panel).any():
+            assert (hot_first & in_panel).sum() == 1
+        if ((~assignment) & in_panel).any():
+            assert (cold_first & in_panel).sum() == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrix=small_matrices())
+def test_partition_assignment_well_formed(matrix):
+    tiled = TiledMatrix(matrix, 4, 4)
+    result = HotTilesPartitioner(tiny_arch()).partition(tiled)
+    assert result.chosen.assignment.shape == (tiled.n_tiles,)
+    assert result.chosen.assignment.dtype == bool
+    assert result.chosen.predicted_time_s > 0
+    # The chosen candidate is the arg-min over candidates.
+    assert result.chosen.predicted_time_s == min(
+        r.predicted_time_s for r in result.candidates.values()
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(matrix=small_matrices(), seed=st.integers(0, 2**16))
+def test_simulated_time_positive_and_bytes_conserved(matrix, seed):
+    tiled = TiledMatrix(matrix, 4, 4)
+    rng = np.random.default_rng(seed)
+    assignment = rng.random(tiled.n_tiles) < 0.5
+    arch = tiny_arch()
+    result = simulate(arch, tiled, assignment, ExecutionMode.PARALLEL)
+    assert result.time_s > 0
+    assert result.hot.nnz + result.cold.nnz == matrix.nnz
+    # The run can never beat the pure-bandwidth lower bound.
+    assert result.time_s >= result.bytes_total / arch.mem_bw_bytes_per_sec - 1e-15
+
+
+@settings(max_examples=15, deadline=None)
+@given(matrix=small_matrices(), seed=st.integers(0, 2**16))
+def test_parallel_at_least_as_fast_as_serial_minus_merge(matrix, seed):
+    """Fluid dynamics sanity: running groups concurrently (ignoring the
+    merge cost) cannot be slower than running them back to back."""
+    tiled = TiledMatrix(matrix, 4, 4)
+    rng = np.random.default_rng(seed)
+    assignment = rng.random(tiled.n_tiles) < 0.5
+    arch = tiny_arch()
+    par = simulate(arch, tiled, assignment, ExecutionMode.PARALLEL)
+    ser = simulate(arch, tiled, assignment, ExecutionMode.SERIAL)
+    assert par.time_s - par.merge_time_s <= ser.time_s + 1e-12
