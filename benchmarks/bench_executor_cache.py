@@ -1,0 +1,75 @@
+"""Smoke benchmark for the parallel cached experiment executor.
+
+Runs a small Fig. 10-style cell set twice against a fresh cache: the
+first (cold) pass simulates and populates the cache, the second (warm)
+pass must be served entirely from disk.  Reports the warm-pass hit rate
+and the cold/warm wall-clock ratio, and asserts bit-identical results --
+the cache must never change numbers, only skip work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.arch.configs import spade_sextans
+from repro.experiments.cache import ResultCache
+from repro.experiments.executor import Cell, ExperimentExecutor
+from repro.experiments.runner import HOTTILES
+
+SHORTS = ("ski", "pap", "del")
+
+
+@dataclass(frozen=True)
+class CacheSmokeResult:
+    cold_s: float
+    warm_s: float
+    warm_hit_rate: float
+    times: List[Tuple[str, float, float]]  #: (matrix, cold HotTiles s, warm HotTiles s)
+
+    def render(self) -> str:
+        lines = [
+            "Executor cache smoke: "
+            f"cold {self.cold_s:.2f}s, warm {self.warm_s:.3f}s "
+            f"({self.cold_s / max(self.warm_s, 1e-9):.0f}x), "
+            f"warm hit rate {self.warm_hit_rate:.0%}"
+        ]
+        for short, cold_t, warm_t in self.times:
+            match = "ok" if cold_t == warm_t else "MISMATCH"
+            lines.append(f"  {short}: HotTiles {cold_t * 1e3:.3f} ms [{match}]")
+        return "\n".join(lines)
+
+
+def run_smoke(tmp_dir: str) -> CacheSmokeResult:
+    cells = [Cell(arch=spade_sextans(4), matrix=s) for s in SHORTS]
+
+    cold_ex = ExperimentExecutor(jobs=1, cache=ResultCache(tmp_dir))
+    start = time.perf_counter()
+    cold_runs = cold_ex.run_cells(cells)
+    cold_s = time.perf_counter() - start
+
+    warm_ex = ExperimentExecutor(jobs=1, cache=ResultCache(tmp_dir))
+    start = time.perf_counter()
+    warm_runs = warm_ex.run_cells(cells)
+    warm_s = time.perf_counter() - start
+
+    return CacheSmokeResult(
+        cold_s=cold_s,
+        warm_s=warm_s,
+        warm_hit_rate=warm_ex.stats.hit_rate,
+        times=[
+            (s, c.time(HOTTILES), w.time(HOTTILES))
+            for s, c, w in zip(SHORTS, cold_runs, warm_runs)
+        ],
+    )
+
+
+def test_executor_cache_smoke(run_experiment, tmp_path):
+    result = run_experiment(run_smoke, tmp_dir=str(tmp_path / "cache"))
+    # The warm pass is pure cache: every cell hits, results are identical.
+    assert result.warm_hit_rate == 1.0
+    for _short, cold_t, warm_t in result.times:
+        assert cold_t == warm_t
+    # Deserialization must be much cheaper than simulation.
+    assert result.warm_s < result.cold_s

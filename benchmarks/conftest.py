@@ -4,22 +4,61 @@ Each benchmark runs its experiment exactly once (the experiments are
 minutes-scale pipelines, not microbenchmarks), prints the same rows/series
 the paper reports, and asserts the headline shape so a silent regression
 fails the bench run.
+
+Every benchmark runs under a configured experiment executor:
+
+- ``HOTTILES_JOBS``      -- worker processes for independent cells (default 1),
+- ``HOTTILES_CACHE_DIR`` -- on-disk result cache location (default
+  ``.hottiles-cache`` next to this directory),
+- ``HOTTILES_NO_CACHE=1`` -- disable the cache (always re-simulate).
+
+A repeated bench invocation therefore serves every cell from the cache
+(the printed summary shows the hit rate) instead of re-simulating.
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.executor import ExperimentExecutor, use_executor
+
+
+def _build_executor() -> ExperimentExecutor:
+    jobs = int(os.environ.get("HOTTILES_JOBS", "1"))
+    if os.environ.get("HOTTILES_NO_CACHE", "") == "1":
+        cache = None
+    else:
+        cache_dir = os.environ.get(
+            "HOTTILES_CACHE_DIR", str(Path(__file__).parent / ".hottiles-cache")
+        )
+        cache = ResultCache(cache_dir)
+    return ExperimentExecutor(jobs=jobs, cache=cache)
 
 
 @pytest.fixture()
-def run_experiment(benchmark):
+def executor():
+    """The executor every benchmark's experiment cells run through."""
+    ex = _build_executor()
+    with use_executor(ex):
+        yield ex
+
+
+@pytest.fixture()
+def run_experiment(benchmark, executor):
     """Run an experiment function once under pytest-benchmark, print the
-    rendered rows/series, and return the structured result."""
+    rendered rows/series plus the executor's cache/wall-time summary, and
+    return the structured result."""
 
     def run(fn, **kwargs):
         result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
         print()
         print(result.render())
+        if executor.stats.cells:
+            print(executor.stats.render())
         return result
 
     return run

@@ -8,6 +8,12 @@ Two modes:
     hottiles fig10 [--subset ski pap ...] [--seed N] [--csv out.csv]
     hottiles all
 
+Experiment cells (one ``evaluate_matrix`` per architecture/matrix pair)
+run through the parallel cached executor: ``--jobs N`` fans independent
+cells out over N processes, results are reused from a content-addressed
+on-disk cache (``--cache-dir``, default ``~/.cache/hottiles``;
+``--no-cache`` disables it).
+
 *Partitioning* -- run the HotTiles preprocessing pipeline on a
 MatrixMarket file, exactly what the paper's host-side framework does
 (Sec. VI-B)::
@@ -29,6 +35,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.experiments import figures
+from repro.experiments.executor import configure_executor, use_executor
 from repro.experiments.export import result_to_csv
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -65,6 +72,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     return _experiment_command(argv)
 
 
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared flags controlling the parallel cached experiment executor."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent experiment cells (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="experiment result cache directory "
+        "(default: $HOTTILES_CACHE_DIR or ~/.cache/hottiles)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (always re-simulate)",
+    )
+
+
+def _executor_from(args: argparse.Namespace):
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    try:
+        return configure_executor(
+            jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+        )
+    except NotADirectoryError as exc:
+        raise SystemExit(f"--cache-dir: {exc}")
+
+
 # ----------------------------------------------------------------------
 def _experiment_command(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
@@ -82,6 +122,7 @@ def _experiment_command(argv: List[str]) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="IUnaware placement seed")
     parser.add_argument("--csv", default=None, help="also export the rows as CSV")
+    _add_executor_flags(parser)
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -99,26 +140,30 @@ def _experiment_command(argv: List[str]) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    for name in names:
-        fn = EXPERIMENTS[name]
-        kwargs = {}
-        if name in _SINGLE_MATRIX:
-            if args.subset:
-                kwargs["short"] = args.subset[0]
-            kwargs["seed"] = args.seed
-        else:
-            if args.subset is not None:
-                kwargs["subset"] = args.subset
-            if name not in _NO_SEED:
+    executor = _executor_from(args)
+    with use_executor(executor):
+        for name in names:
+            fn = EXPERIMENTS[name]
+            kwargs = {}
+            if name in _SINGLE_MATRIX:
+                if args.subset:
+                    kwargs["short"] = args.subset[0]
                 kwargs["seed"] = args.seed
-        start = time.perf_counter()
-        result = fn(**kwargs)
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
-        if args.csv and len(names) == 1:
-            result_to_csv(result, args.csv)
-            print(f"rows exported to {args.csv}")
+            else:
+                if args.subset is not None:
+                    kwargs["subset"] = args.subset
+                if name not in _NO_SEED:
+                    kwargs["seed"] = args.seed
+            start = time.perf_counter()
+            result = fn(**kwargs)
+            elapsed = time.perf_counter() - start
+            print(result.render())
+            print(f"[{name} completed in {elapsed:.1f}s]\n")
+            if args.csv and len(names) == 1:
+                result_to_csv(result, args.csv)
+                print(f"rows exported to {args.csv}")
+    if executor.stats.cells:
+        print(executor.stats.render())
     return 0
 
 
@@ -153,6 +198,7 @@ def _sweep_command(argv: List[str]) -> int:
     parser.add_argument(
         "--scale", type=int, default=4, help="SPADE-Sextans system scale"
     )
+    _add_executor_flags(parser)
     args = parser.parse_args(argv)
 
     matrix = (
@@ -161,21 +207,24 @@ def _sweep_command(argv: List[str]) -> int:
         else read_matrix_market(args.matrix)
     )
     arch = spade_sextans(args.scale)
-    if args.kind == "bandwidth":
-        points = args.points or [0.25, 0.5, 1.0, 2.0, 4.0]
-        result = bandwidth_sweep(arch, matrix, points)
-    elif args.kind == "k":
-        points = [int(v) for v in (args.points or [8, 16, 32, 64])]
-        result = k_sweep(arch, matrix, points)
-    else:
-        points = [int(v) for v in (args.points or [4, 8, 16, 32])]
-        result = cold_count_sweep(arch, matrix, points)
+    executor = _executor_from(args)
+    with use_executor(executor):
+        if args.kind == "bandwidth":
+            points = args.points or [0.25, 0.5, 1.0, 2.0, 4.0]
+            result = bandwidth_sweep(arch, matrix, points)
+        elif args.kind == "k":
+            points = [int(v) for v in (args.points or [8, 16, 32, 64])]
+            result = k_sweep(arch, matrix, points)
+        else:
+            points = [int(v) for v in (args.points or [4, 8, 16, 32])]
+            result = cold_count_sweep(arch, matrix, points)
     print(result.render())
     winners = ", ".join(
         f"{row[0]:g}: {name}"
         for row, name in zip(result.rows, result.best_strategy_per_point())
     )
     print(f"best strategy per point -- {winners}")
+    print(executor.stats.render())
     return 0
 
 

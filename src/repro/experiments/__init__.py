@@ -6,6 +6,10 @@
   (HotOnly / ColdOnly / IUnaware / HotTiles / BestHomogeneous),
 - :mod:`repro.experiments.figures` -- ``figure04`` .. ``figure18`` and
   ``table06`` .. ``table09`` reproduction functions,
+- :mod:`repro.experiments.executor` -- parallel, cached execution of
+  independent experiment cells (``--jobs`` / result reuse),
+- :mod:`repro.experiments.cache` -- the content-addressed on-disk
+  result cache behind the executor,
 - :mod:`repro.experiments.reporting` -- plain-text rendering of results.
 """
 
@@ -17,6 +21,14 @@ from repro.experiments.matrices import (
     profiling_matrices,
 )
 from repro.experiments.runner import MatrixRun, StrategyOutcome, calibrated, evaluate_matrix
+from repro.experiments.cache import ResultCache, code_version, stable_digest
+from repro.experiments.executor import (
+    Cell,
+    ExperimentExecutor,
+    configure_executor,
+    get_executor,
+    use_executor,
+)
 from repro.experiments import export, sweeps
 
 __all__ = [
@@ -31,4 +43,12 @@ __all__ = [
     "StrategyOutcome",
     "calibrated",
     "evaluate_matrix",
+    "ResultCache",
+    "code_version",
+    "stable_digest",
+    "Cell",
+    "ExperimentExecutor",
+    "configure_executor",
+    "get_executor",
+    "use_executor",
 ]

@@ -1,0 +1,249 @@
+"""Content-addressed, on-disk experiment result cache.
+
+Every simulated experiment cell -- one ``evaluate_matrix`` call on one
+(architecture, matrix, strategy set) -- is deterministic, so its result
+can be reused across benchmark and CLI invocations.  This module provides
+the two pieces the executor needs:
+
+- :func:`stable_digest` -- a canonical, process-independent digest of the
+  plain-data objects the pipeline is parameterized by (dataclasses,
+  enums, numpy arrays, primitives).  Python's built-in ``hash`` is salted
+  per process and enum/frozenset iteration order is id-dependent, so the
+  encoder sorts set-likes by their own digests and never touches
+  ``hash()``.
+- :class:`ResultCache` -- a pickle-per-entry store under a cache
+  directory, keyed by hex digests, with hit/miss counters.
+
+Cache keys incorporate :func:`code_version` -- a digest of every
+``repro`` source file -- so any change to the simulator, model, or
+experiment code automatically invalidates all previous entries.  There
+are no mtime heuristics: a key either encodes exactly the inputs and code
+that produced a result, or the entry is never found.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "stable_digest",
+    "code_version",
+    "default_cache_dir",
+    "ResultCache",
+]
+
+#: Environment variable overriding the default on-disk cache location.
+CACHE_DIR_ENV = "HOTTILES_CACHE_DIR"
+
+
+# ----------------------------------------------------------------------
+# Canonical digests
+# ----------------------------------------------------------------------
+def stable_digest(obj: Any) -> str:
+    """Hex digest of ``obj`` that is stable across processes and runs.
+
+    Supports the configuration vocabulary of this codebase: dataclasses
+    (by qualified type name and field order), enums (by type and member
+    name), numpy arrays and scalars (by dtype, shape, and bytes), tuples,
+    lists, dicts with string keys, frozensets/sets (sorted by element
+    digest), and ``None``/bool/int/float/str/bytes.  Objects exposing a
+    ``content_digest()`` method (e.g. :class:`~repro.sparse.matrix.
+    SparseMatrix`) are folded in by that digest.
+    """
+    h = hashlib.sha256()
+    for token in _encode(obj):
+        h.update(token)
+    return h.hexdigest()
+
+
+def _encode(obj: Any) -> Iterator[bytes]:
+    """Yield an unambiguous token stream for ``obj`` (prefix-typed)."""
+    if obj is None:
+        yield b"N;"
+    elif isinstance(obj, bool):
+        yield b"B1;" if obj else b"B0;"
+    elif isinstance(obj, int):
+        yield f"I{obj};".encode()
+    elif isinstance(obj, float):
+        # repr round-trips doubles exactly; 0.0 vs -0.0 stay distinct.
+        yield f"F{obj!r};".encode()
+    elif isinstance(obj, str):
+        yield f"S{len(obj)}:".encode()
+        yield obj.encode("utf-8")
+    elif isinstance(obj, bytes):
+        yield f"Y{len(obj)}:".encode()
+        yield obj
+    elif isinstance(obj, enum.Enum):
+        yield f"E{type(obj).__qualname__}.{obj.name};".encode()
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        yield f"A{arr.dtype.str}{arr.shape};".encode()
+        yield arr.tobytes()
+    elif isinstance(obj, np.generic):
+        yield from _encode(obj.item())
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        yield f"D{type(obj).__qualname__}(".encode()
+        for f in dataclasses.fields(obj):
+            yield f"{f.name}=".encode()
+            yield from _encode(getattr(obj, f.name))
+        yield b");"
+    elif isinstance(obj, (tuple, list)):
+        yield b"T(" if isinstance(obj, tuple) else b"L("
+        for item in obj:
+            yield from _encode(item)
+        yield b");"
+    elif isinstance(obj, (set, frozenset)):
+        # Iteration order is id-dependent; sort by per-element digest.
+        yield b"X("
+        for d in sorted(stable_digest(item) for item in obj):
+            yield d.encode()
+        yield b");"
+    elif isinstance(obj, dict):
+        yield b"M("
+        for key in sorted(obj):
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"stable_digest dict keys must be strings, got {type(key).__name__}"
+                )
+            yield from _encode(key)
+            yield from _encode(obj[key])
+        yield b");"
+    elif hasattr(obj, "content_digest"):
+        yield f"C{type(obj).__qualname__}:{obj.content_digest()};".encode()
+    else:
+        raise TypeError(
+            f"stable_digest cannot canonically encode {type(obj).__qualname__}"
+        )
+
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (the cache's code key).
+
+    Any edit to the package -- simulator semantics, model constants,
+    experiment drivers -- changes this digest and thereby invalidates
+    every previously cached result.  Computed once per process.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _CODE_VERSION = h.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def default_cache_dir() -> Path:
+    """``$HOTTILES_CACHE_DIR``, or ``~/.cache/hottiles`` when unset."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "hottiles"
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Pickle-per-entry store under ``cache_dir``, keyed by hex digests.
+
+    Entries are sharded by the first two key characters.  Writes are
+    atomic (temp file + rename) so concurrent processes -- e.g. the
+    workers of a parallel sweep -- never observe a torn entry; a corrupt
+    or unreadable entry is treated as a miss and removed.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path, None] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError):
+            raise NotADirectoryError(
+                f"cache dir {self.cache_dir} exists and is not a directory"
+            ) from None
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys must be non-empty hex digests, got {key!r}")
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Torn write or stale class layout: drop the entry.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (atomic; last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("??/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self.cache_dir.glob("??/*.pkl")):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``get`` calls served from disk (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.cache_dir)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

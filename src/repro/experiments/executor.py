@@ -1,0 +1,261 @@
+"""Parallel, cached execution of experiment cells.
+
+An experiment *cell* is one ``evaluate_matrix`` invocation: (architecture,
+matrix, seed, calibration flag, strategy set).  The paper sweeps are
+embarrassingly parallel across cells -- every figure evaluates tens of
+independent cells -- and fully deterministic, so this layer adds the two
+things the serial drivers lack:
+
+- **fan-out**: ``jobs > 1`` dispatches cache-missing cells to a
+  ``concurrent.futures.ProcessPoolExecutor``; simulation releases no GIL,
+  so processes (not threads) are the right grain,
+- **reuse**: each cell's result is stored in a content-addressed
+  :class:`~repro.experiments.cache.ResultCache` keyed by a digest of the
+  architecture config, the matrix content hash, the remaining cell
+  parameters, and the package code version -- repeated benchmark or CLI
+  runs hit the cache instead of re-simulating.
+
+The active executor is process-global; the figure and sweep drivers route
+every evaluation through :func:`get_executor` so the CLI and the
+benchmark harness can install a configured one (``--jobs``,
+``--cache-dir``, ``--no-cache``) without threading it through every
+signature.  The default executor is serial and cache-less, i.e. exactly
+the seed behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.arch.heterogeneous import Architecture
+from repro.experiments.cache import ResultCache, code_version, stable_digest
+from repro.experiments.matrices import load_matrix
+from repro.experiments.runner import MatrixRun, evaluate_matrix
+from repro.experiments.reporting import format_run_stats
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = [
+    "Cell",
+    "RunStats",
+    "ExperimentExecutor",
+    "get_executor",
+    "use_executor",
+    "configure_executor",
+]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One deterministic experiment cell.
+
+    ``matrix`` is either a benchmark short name (resolved via
+    :func:`~repro.experiments.matrices.load_matrix`, which keeps worker
+    processes from receiving megabytes of pickled coordinates) or an
+    explicit :class:`~repro.sparse.matrix.SparseMatrix`.
+    """
+
+    arch: Architecture
+    matrix: Union[str, SparseMatrix]
+    seed: int = 0
+    calibrate: bool = True
+    strategies: Optional[Tuple[str, ...]] = None
+
+    def resolve_matrix(self) -> SparseMatrix:
+        if isinstance(self.matrix, str):
+            return load_matrix(self.matrix)
+        return self.matrix
+
+    def key(self) -> str:
+        """Content-addressed cache key of this cell.
+
+        The digest covers the full architecture configuration (worker
+        traits, counts, bandwidths, tile geometry, problem spec), the
+        matrix *content* (not its name), the cell parameters, and the
+        ``repro`` code version -- any change to any of them produces a
+        different key, which is the cache's only invalidation rule.
+        """
+        return stable_digest(
+            (
+                "experiment-cell",
+                code_version(),
+                self.arch,
+                self.resolve_matrix(),
+                self.seed,
+                self.calibrate,
+                self.strategies,
+            )
+        )
+
+
+def _run_cell(cell: Cell) -> Tuple[MatrixRun, float]:
+    """Evaluate one cell; returns ``(run, wall_seconds)``.
+
+    Module-level so it pickles into pool workers.
+    """
+    start = time.perf_counter()
+    run = evaluate_matrix(
+        cell.arch,
+        cell.resolve_matrix(),
+        seed=cell.seed,
+        calibrate=cell.calibrate,
+        strategies=cell.strategies,
+    )
+    return run, time.perf_counter() - start
+
+
+@dataclass
+class RunStats:
+    """Cumulative counters of one executor (surfaced by the CLI/benchmarks)."""
+
+    cells: int = 0  #: cells requested
+    cache_hits: int = 0
+    cache_misses: int = 0  #: cells actually simulated
+    cell_wall_s: List[float] = field(default_factory=list)
+    #: per simulated cell: wall-clock seconds inside ``evaluate_matrix``
+    elapsed_s: float = 0.0  #: wall-clock seconds inside ``run_cells``
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.cells if self.cells else 0.0
+
+    @property
+    def simulated_wall_s(self) -> float:
+        return float(sum(self.cell_wall_s))
+
+    def render(self) -> str:
+        return format_run_stats(self)
+
+
+class ExperimentExecutor:
+    """Runs experiment cells, optionally in parallel and/or cached.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; 1 (the default) runs in-process with no
+        pool.  Results are bit-identical either way: every cell is
+        evaluated by the same deterministic code on the same inputs, so
+        parallelism changes scheduling only, never numerics.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable reuse.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = int(jobs)
+        self.cache = cache
+        self.stats = RunStats()
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        arch: Architecture,
+        matrix: Union[str, SparseMatrix],
+        seed: int = 0,
+        calibrate: bool = True,
+        strategies: Optional[Tuple[str, ...]] = None,
+    ) -> MatrixRun:
+        """Cached single-cell convenience wrapper."""
+        return self.run_cells(
+            [Cell(arch, matrix, seed=seed, calibrate=calibrate, strategies=strategies)]
+        )[0]
+
+    def run_cells(self, cells: Sequence[Cell]) -> List[MatrixRun]:
+        """Evaluate ``cells``, returning results in input order.
+
+        Cached cells are served from disk; the rest run serially
+        (``jobs == 1``) or on a process pool.  Fresh results are written
+        back to the cache before returning.
+        """
+        start = time.perf_counter()
+        results: List[Optional[MatrixRun]] = [None] * len(cells)
+        pending: List[Tuple[int, Optional[str], Cell]] = []
+        for i, cell in enumerate(cells):
+            if self.cache is not None:
+                key = cell.key()
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    self.stats.cache_hits += 1
+                    continue
+                pending.append((i, key, cell))
+            else:
+                pending.append((i, None, cell))
+        self.stats.cells += len(cells)
+        self.stats.cache_misses += len(pending)
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for i, key, cell in pending:
+                run, wall = _run_cell(cell)
+                self._record(results, i, key, run, wall)
+        else:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+                futures = {
+                    pool.submit(_run_cell, cell): (i, key) for i, key, cell in pending
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        i, key = futures[fut]
+                        run, wall = fut.result()
+                        self._record(results, i, key, run, wall)
+
+        self.stats.elapsed_s += time.perf_counter() - start
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def _record(
+        self,
+        results: List[Optional[MatrixRun]],
+        index: int,
+        key: Optional[str],
+        run: MatrixRun,
+        wall: float,
+    ) -> None:
+        results[index] = run
+        self.stats.cell_wall_s.append(wall)
+        if self.cache is not None and key is not None:
+            self.cache.put(key, run)
+
+
+# ----------------------------------------------------------------------
+# The process-global active executor
+# ----------------------------------------------------------------------
+_ACTIVE = ExperimentExecutor()
+
+
+def get_executor() -> ExperimentExecutor:
+    """The executor the figure/sweep drivers currently route through."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_executor(executor: ExperimentExecutor) -> Iterator[ExperimentExecutor]:
+    """Temporarily install ``executor`` as the active one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = executor
+    try:
+        yield executor
+    finally:
+        _ACTIVE = previous
+
+
+def configure_executor(
+    jobs: int = 1,
+    cache_dir: Union[str, None] = None,
+    no_cache: bool = False,
+) -> ExperimentExecutor:
+    """Build an executor from CLI-style options.
+
+    ``no_cache`` disables reuse entirely; otherwise results live under
+    ``cache_dir`` (default: ``$HOTTILES_CACHE_DIR`` or
+    ``~/.cache/hottiles``).
+    """
+    cache = None if no_cache else ResultCache(cache_dir)
+    return ExperimentExecutor(jobs=jobs, cache=cache)

@@ -21,6 +21,7 @@ import numpy as np
 from repro.arch.configs import piuma, spade_sextans, spade_sextans_iso_scale, spade_sextans_pcie
 from repro.arch.heterogeneous import Architecture
 from repro.core.partition import HotTilesPartitioner
+from repro.experiments.executor import Cell, get_executor
 from repro.experiments.matrices import TABLE_V, TABLE_VIII, load_matrix
 from repro.experiments.reporting import format_assignment_map, format_table, geomean
 from repro.experiments.runner import (
@@ -31,7 +32,6 @@ from repro.experiments.runner import (
     MatrixRun,
     calibrated,
     evaluate_heuristics,
-    evaluate_matrix,
 )
 from repro.core.baselines import iunaware_assignment
 from repro.pipeline.preprocess import HotTilesPreprocessor
@@ -67,7 +67,14 @@ def _shorts(subset: Optional[Sequence[str]], table: Dict[str, object]) -> List[s
 def _runs(
     arch: Architecture, shorts: Sequence[str], seed: int = 0
 ) -> Dict[str, MatrixRun]:
-    return {s: evaluate_matrix(arch, load_matrix(s), seed=seed) for s in shorts}
+    """Evaluate one architecture over a benchmark set.
+
+    Routed through the active executor: with ``--jobs`` the matrices run
+    on a process pool, and with a cache configured repeated invocations
+    are served from disk instead of re-simulated.
+    """
+    cells = [Cell(arch=arch, matrix=s, seed=seed) for s in shorts]
+    return dict(zip(shorts, get_executor().run_cells(cells)))
 
 
 # ----------------------------------------------------------------------
@@ -486,14 +493,19 @@ def _iso_scale_sweep(
 ) -> Tuple[List[str], Dict[str, Dict[str, Tuple[float, float]]]]:
     """(predicted, actual) HotTiles runtime per iso-scale arch per matrix."""
     shorts = _shorts(subset, TABLE_V)
+    # One flat fan-out over the full (architecture x matrix) grid -- the
+    # widest parallel section of the reproduction (9 archs x 10 matrices).
+    names = [_iso_name(c, h) for c, h in _ISO_SCALES]
+    archs = [spade_sextans_iso_scale(c, h) for c, h in _ISO_SCALES]
+    cells = [
+        Cell(arch=arch, matrix=short, seed=seed) for arch in archs for short in shorts
+    ]
+    runs = iter(get_executor().run_cells(cells))
     data: Dict[str, Dict[str, Tuple[float, float]]] = {}
-    for cold_scale, hot_scale in _ISO_SCALES:
-        arch = spade_sextans_iso_scale(cold_scale, hot_scale)
-        name = _iso_name(cold_scale, hot_scale)
+    for name in names:
         data[name] = {}
         for short in shorts:
-            run = evaluate_matrix(arch, load_matrix(short), seed=seed)
-            out = run.outcomes[HOTTILES]
+            out = next(runs).outcomes[HOTTILES]
             data[name][short] = (float(out.predicted_s), out.time_s)
     return shorts, data
 

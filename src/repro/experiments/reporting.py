@@ -12,7 +12,7 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "geomean", "format_assignment_map"]
+__all__ = ["format_table", "geomean", "format_assignment_map", "format_run_stats"]
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -72,6 +72,32 @@ def format_assignment_map(
                 row.append(".")
         lines.append("".join(row))
     return "\n".join(lines)
+
+
+def format_run_stats(stats: object) -> str:
+    """One-line executor summary: cell counts, cache hits, wall time.
+
+    ``stats`` is duck-typed (see :class:`repro.experiments.executor.
+    RunStats`): ``cells``, ``cache_hits``, ``cache_misses``, ``hit_rate``,
+    ``cell_wall_s``, ``simulated_wall_s``, and ``elapsed_s``.
+    """
+    cells = stats.cells
+    if not cells:
+        return "executor: no cells run"
+    walls = list(stats.cell_wall_s)
+    parts = [
+        f"executor: {cells} cell{'s' if cells != 1 else ''}",
+        f"cache {stats.cache_hits} hit / {stats.cache_misses} miss "
+        f"({stats.hit_rate:.0%} hit rate)",
+    ]
+    if walls:
+        parts.append(
+            f"simulated {stats.simulated_wall_s:.2f}s "
+            f"(avg {stats.simulated_wall_s / len(walls):.2f}s/cell, "
+            f"max {max(walls):.2f}s)"
+        )
+    parts.append(f"elapsed {stats.elapsed_s:.2f}s")
+    return " -- ".join(parts)
 
 
 def _fmt(cell: object) -> str:

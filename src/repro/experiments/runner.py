@@ -8,11 +8,12 @@ HotTiles, and record simulated ("actual") plus model-predicted runtimes.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Dict, Optional
 
 from repro.arch.heterogeneous import Architecture
+from repro.experiments.cache import stable_digest
 from repro.core.baselines import iunaware_assignment
 from repro.core.calibration import calibrate_architecture
 from repro.core.partition import ExecutionMode, HotTilesPartitioner, HotTilesResult
@@ -30,6 +31,7 @@ __all__ = [
     "StrategyOutcome",
     "MatrixRun",
     "calibrated",
+    "clear_calibration_cache",
     "evaluate_matrix",
     "evaluate_heuristics",
 ]
@@ -52,8 +54,13 @@ class StrategyOutcome:
 
     @property
     def prediction_error(self) -> Optional[float]:
-        """Relative error ``|pred - actual| / actual`` (Fig. 17)."""
-        if self.predicted_s is None:
+        """Relative error ``|pred - actual| / actual`` (Fig. 17).
+
+        ``None`` when no prediction exists or the simulated runtime is
+        zero (a degenerate empty/all-zero matrix), where relative error
+        is undefined.
+        """
+        if self.predicted_s is None or self.time_s == 0.0:
             return None
         return abs(self.predicted_s - self.time_s) / self.time_s
 
@@ -91,13 +98,27 @@ class MatrixRun:
         return baseline_s / self.time(strategy)
 
 
-@lru_cache(maxsize=None)
+#: Calibrated architectures keyed by config digest.  Bounded LRU rather
+#: than ``functools.lru_cache``: sweeps construct a fresh ``Architecture``
+#: per point, and an unbounded identity-keyed cache grows without limit
+#: across long sweep sessions.  Digest keying also means two structurally
+#: equal configs share one entry regardless of object identity.
+_CALIBRATION_CACHE: "OrderedDict[str, Architecture]" = OrderedDict()
+_CALIBRATION_CACHE_MAX = 64
+
+
 def calibrated(arch: Architecture) -> Architecture:
     """Architecture with ``vis_lat`` fitted against simulated profiling runs.
 
-    Cached: the paper notes calibration is a one-time per-machine cost
-    whose result is reused across matrices.
+    Cached (bounded, keyed on the architecture's content digest): the
+    paper notes calibration is a one-time per-machine cost whose result
+    is reused across matrices.
     """
+    key = stable_digest(arch)
+    hit = _CALIBRATION_CACHE.get(key)
+    if hit is not None:
+        _CALIBRATION_CACHE.move_to_end(key)
+        return hit
 
     def measure(a: Architecture, tiled: TiledMatrix, kind: WorkerKind) -> float:
         return simulate_homogeneous(a, tiled, kind).time_s
@@ -105,7 +126,16 @@ def calibrated(arch: Architecture) -> Architecture:
     tiles = [
         TiledMatrix(m, arch.tile_height, arch.tile_width) for m in profiling_matrices()
     ]
-    return calibrate_architecture(arch, measure, tiles)
+    out = calibrate_architecture(arch, measure, tiles)
+    _CALIBRATION_CACHE[key] = out
+    while len(_CALIBRATION_CACHE) > _CALIBRATION_CACHE_MAX:
+        _CALIBRATION_CACHE.popitem(last=False)
+    return out
+
+
+def clear_calibration_cache() -> None:
+    """Drop every cached calibration (tests and long-lived sessions)."""
+    _CALIBRATION_CACHE.clear()
 
 
 def evaluate_matrix(

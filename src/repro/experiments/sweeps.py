@@ -13,7 +13,9 @@ ablations for the design choices DESIGN.md calls out:
   finer-grained version of the Fig. 16 iso-scale exploration).
 
 All sweeps run the full calibrate + partition + simulate pipeline per
-point and return rows renderable like the figure results.
+point and return rows renderable like the figure results.  Points are
+independent cells, so each sweep fans out through the active experiment
+executor (``--jobs`` parallelism, content-addressed result reuse).
 """
 
 from __future__ import annotations
@@ -23,12 +25,13 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.arch.heterogeneous import Architecture, WorkerGroup
+from repro.experiments.executor import Cell, get_executor
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
     COLD_ONLY,
     HOT_ONLY,
     HOTTILES,
-    evaluate_matrix,
+    MatrixRun,
 )
 from repro.sparse.matrix import SparseMatrix
 from repro.workers.sextans import sextans_tile_width
@@ -60,8 +63,15 @@ class SweepResult:
         return [names[min(range(3), key=lambda i: row[1 + i])] for row in self.rows]
 
 
-def _measure(arch: Architecture, matrix: SparseMatrix) -> Tuple[float, float, float]:
-    run = evaluate_matrix(arch, matrix)
+def _measure_points(
+    points: Sequence[Architecture], matrix: SparseMatrix
+) -> List[Tuple[float, float, float]]:
+    """Strategy times in ms per point, via the active executor."""
+    cells = [Cell(arch=point, matrix=matrix) for point in points]
+    return [_row_ms(run) for run in get_executor().run_cells(cells)]
+
+
+def _row_ms(run: MatrixRun) -> Tuple[float, float, float]:
     return (
         run.time(HOT_ONLY) * 1e3,
         run.time(COLD_ONLY) * 1e3,
@@ -75,10 +85,12 @@ def bandwidth_sweep(
     """Scale the shared memory bandwidth by each factor."""
     if not factors or any(f <= 0 for f in factors):
         raise ValueError("factors must be positive and non-empty")
-    rows = []
-    for f in factors:
-        point = dataclasses.replace(arch, mem_bw_gbs=arch.mem_bw_gbs * f)
-        rows.append((float(f), *_measure(point, matrix)))
+    points = [
+        dataclasses.replace(arch, mem_bw_gbs=arch.mem_bw_gbs * f) for f in factors
+    ]
+    rows = [
+        (float(f), *ms) for f, ms in zip(factors, _measure_points(points, matrix))
+    ]
     return SweepResult(parameter="bandwidth factor", rows=rows)
 
 
@@ -93,15 +105,15 @@ def k_sweep(
     """
     if not ks or any(k <= 0 for k in ks):
         raise ValueError("ks must be positive and non-empty")
-    rows = []
+    points = []
     for k in ks:
         problem = dataclasses.replace(arch.problem, k=int(k))
         if arch.hot.traits.scratchpad_bytes is not None and arch.hot.count > 0:
             tile_width = sextans_tile_width(arch.hot.traits, problem.dense_row_bytes)
         else:
             tile_width = arch.tile_width
-        point = dataclasses.replace(arch, problem=problem, tile_width=tile_width)
-        rows.append((float(k), *_measure(point, matrix)))
+        points.append(dataclasses.replace(arch, problem=problem, tile_width=tile_width))
+    rows = [(float(k), *ms) for k, ms in zip(ks, _measure_points(points, matrix))]
     return SweepResult(parameter="K", rows=rows)
 
 
@@ -111,10 +123,11 @@ def cold_count_sweep(
     """Sweep the number of cold workers at a fixed hot worker."""
     if not counts or any(c <= 0 for c in counts):
         raise ValueError("counts must be positive and non-empty")
-    rows = []
-    for count in counts:
-        point = dataclasses.replace(
-            arch, cold=WorkerGroup(arch.cold.traits, int(count))
-        )
-        rows.append((float(count), *_measure(point, matrix)))
+    points = [
+        dataclasses.replace(arch, cold=WorkerGroup(arch.cold.traits, int(count)))
+        for count in counts
+    ]
+    rows = [
+        (float(c), *ms) for c, ms in zip(counts, _measure_points(points, matrix))
+    ]
     return SweepResult(parameter="cold workers", rows=rows)

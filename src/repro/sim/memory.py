@@ -17,6 +17,21 @@ import numpy as np
 
 __all__ = ["allocate_rates"]
 
+#: Relative tolerance for rate comparisons.  The quantities here are
+#: bytes/s of order 1e10-1e11, where double rounding error after a few
+#: arithmetic steps is ~1e-5 absolute -- an absolute epsilon like 1e-18
+#: can never detect a tie between two resources (e.g. DRAM and PCIe
+#: exhausting together), which would leave one of them uncounted as
+#: limiting.  1e-9 relative is ~1e-16 in units of the compared values,
+#: far above accumulated rounding noise yet far below any physical
+#: bandwidth difference the configs express.
+_REL_TOL = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    """True when ``a`` and ``b`` are equal up to float rounding noise."""
+    return abs(a - b) <= _REL_TOL * max(abs(a), abs(b))
+
 
 def allocate_rates(
     caps: np.ndarray,
@@ -67,18 +82,19 @@ def allocate_rates(
             if users == 0:
                 continue
             headroom = remaining[ri] / users
-            if headroom < delta - 1e-18:
+            if _close(headroom, delta):
+                limiting.append(ri)
+            elif headroom < delta:
                 delta = headroom
                 limiting = [ri]
-            elif abs(headroom - delta) <= 1e-18:
-                limiting.append(ri)
         if delta < 0:
             delta = 0.0
         rates[unfrozen] += delta
         for ri, (members, _) in enumerate(resources):
             remaining[ri] -= delta * int(np.count_nonzero(unfrozen & members))
-        # Freeze users that reached their own cap ...
-        unfrozen &= rates < caps - 1e-18
+        # Freeze users that reached their own cap (relative comparison:
+        # caps are bytes/s-scale, an absolute epsilon would never fire) ...
+        unfrozen &= rates < caps * (1.0 - _REL_TOL)
         # ... and all users of any exhausted resource.
         for ri in limiting:
             unfrozen &= ~resources[ri][0]

@@ -10,6 +10,7 @@ so we keep the representation explicit and dependency-light.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Tuple
 
 import numpy as np
@@ -38,7 +39,7 @@ class SparseMatrix:
         SPADE-Sextans experiments, ``float64`` for PIUMA, as in the paper).
     """
 
-    __slots__ = ("n_rows", "n_cols", "rows", "cols", "vals", "_indptr")
+    __slots__ = ("n_rows", "n_cols", "rows", "cols", "vals", "_indptr", "_digest")
 
     def __init__(
         self,
@@ -76,6 +77,7 @@ class SparseMatrix:
         self.cols = cols
         self.vals = vals
         self._indptr: Optional[np.ndarray] = None
+        self._digest: Optional[str] = None
         for arr in (self.rows, self.cols, self.vals):
             arr.flags.writeable = False
 
@@ -168,6 +170,24 @@ class SparseMatrix:
             indptr.flags.writeable = False
             self._indptr = indptr
         return self._indptr
+
+    def content_digest(self) -> str:
+        """Stable hex digest of the matrix content (shape, dtype, nonzeros).
+
+        Two matrices with identical canonical COO content share a digest
+        across processes and runs; it is the matrix component of the
+        experiment-cache key.  Computed once and memoized.
+        """
+        if self._digest is None:
+            h = hashlib.sha256()
+            h.update(
+                f"SparseMatrix:{self.n_rows}x{self.n_cols}:{self.vals.dtype.str}:".encode()
+            )
+            h.update(self.rows.tobytes())
+            h.update(self.cols.tobytes())
+            h.update(self.vals.tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     def to_dense(self) -> np.ndarray:
         """Materialize as a dense array (use on small matrices only)."""
@@ -288,6 +308,17 @@ class SparseMatrix:
 
     def __hash__(self) -> int:  # pragma: no cover - identity hashing only
         return id(self)
+
+    def __setstate__(self, state: Tuple[None, dict]) -> None:
+        # Default __slots__ pickling, plus re-flagging the coordinate
+        # arrays read-only: numpy does not preserve writeability across a
+        # pickle round trip, and instances must stay immutable in pool
+        # worker processes too.
+        _, slots = state
+        for name, value in slots.items():
+            setattr(self, name, value)
+        for arr in (self.rows, self.cols, self.vals):
+            arr.flags.writeable = False
 
 
 def _canonicalize(

@@ -17,6 +17,7 @@ statistics and groups tiles by panel in traversal order.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
@@ -152,6 +153,17 @@ class TiledMatrix:
         ends = np.append(starts[1:], trow.shape[0])
         for s, e in zip(starts, ends):
             yield int(trow[s]), np.arange(s, e)
+
+    def content_digest(self) -> str:
+        """Stable digest: the matrix content digest plus the tile geometry.
+
+        Everything else on the instance is derived deterministically from
+        those inputs, so they fully identify a tiling.
+        """
+        return hashlib.sha256(
+            f"TiledMatrix:{self.matrix.content_digest()}:"
+            f"{self.tile_height}x{self.tile_width}".encode()
+        ).hexdigest()
 
     def density_map(self) -> np.ndarray:
         """Full ``n_panel_rows x n_panel_cols`` grid of per-tile nnz counts.

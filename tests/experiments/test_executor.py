@@ -1,0 +1,180 @@
+"""Executor tests: determinism, caching, parallel fan-out, wiring."""
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.executor import (
+    Cell,
+    ExperimentExecutor,
+    configure_executor,
+    get_executor,
+    use_executor,
+)
+from repro.experiments.runner import (
+    COLD_ONLY,
+    HOT_ONLY,
+    HOTTILES,
+    evaluate_matrix,
+)
+from repro.sparse import generators
+from tests.core.test_partition import tiny_arch
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return generators.community_blocks(256, 6000, 8, seed=20)
+
+
+@pytest.fixture(scope="module")
+def cells(matrix):
+    arch = tiny_arch()
+    return [Cell(arch=arch, matrix=matrix, seed=s, calibrate=False) for s in range(4)]
+
+
+@pytest.fixture(scope="module")
+def serial_runs(matrix):
+    return [
+        evaluate_matrix(tiny_arch(), matrix, seed=s, calibrate=False) for s in range(4)
+    ]
+
+
+def _assert_identical(a, b):
+    assert set(a.outcomes) == set(b.outcomes)
+    for strategy in a.outcomes:
+        # Bit-identical, not approximately equal: parallelism and caching
+        # change scheduling/serialization only, never the numerics.
+        assert a.outcomes[strategy].time_s == b.outcomes[strategy].time_s
+        assert a.outcomes[strategy].predicted_s == b.outcomes[strategy].predicted_s
+
+
+class TestDeterminism:
+    def test_parallel_cached_matches_serial_bitwise(self, cells, serial_runs, tmp_path):
+        """The ISSUE acceptance check: a cached ``--jobs 4`` run produces
+        bit-identical ``SimResult.time_s`` to the serial seed path."""
+        executor = ExperimentExecutor(jobs=4, cache=ResultCache(tmp_path / "cache"))
+        parallel_runs = executor.run_cells(cells)
+        for serial, parallel in zip(serial_runs, parallel_runs):
+            _assert_identical(serial, parallel)
+        assert executor.stats.cache_misses == len(cells)
+
+        warm = ExperimentExecutor(jobs=4, cache=ResultCache(tmp_path / "cache"))
+        for serial, cached in zip(serial_runs, warm.run_cells(cells)):
+            _assert_identical(serial, cached)
+        assert warm.stats.hit_rate == 1.0
+
+    def test_serial_uncached_matches_direct_call(self, cells, serial_runs):
+        executor = ExperimentExecutor()
+        for serial, run in zip(serial_runs, executor.run_cells(cells)):
+            _assert_identical(serial, run)
+
+
+class TestCaching:
+    def test_cold_then_warm_counters(self, cells, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = ExperimentExecutor(cache=cache)
+        executor.run_cells(cells)
+        executor.run_cells(cells)
+        assert executor.stats.cells == 8
+        assert executor.stats.cache_hits == 4
+        assert executor.stats.cache_misses == 4
+        assert executor.stats.hit_rate == 0.5
+        # Only the four misses were actually simulated.
+        assert len(executor.stats.cell_wall_s) == 4
+        assert executor.stats.simulated_wall_s > 0
+        assert executor.stats.elapsed_s > 0
+
+    def test_cache_persists_across_executors(self, cells, tmp_path):
+        ExperimentExecutor(cache=ResultCache(tmp_path)).run_cells(cells)
+        warm = ExperimentExecutor(cache=ResultCache(tmp_path))
+        warm.run_cells(cells)
+        assert warm.stats.hit_rate == 1.0
+
+    def test_key_distinguishes_cell_parameters(self, matrix):
+        arch = tiny_arch()
+        base = Cell(arch=arch, matrix=matrix)
+        assert base.key() == Cell(arch=arch, matrix=matrix).key()
+        assert base.key() != Cell(arch=arch, matrix=matrix, seed=1).key()
+        assert base.key() != Cell(arch=arch, matrix=matrix, calibrate=False).key()
+        assert (
+            base.key()
+            != Cell(arch=arch, matrix=matrix, strategies=(HOT_ONLY, COLD_ONLY)).key()
+        )
+        assert base.key() != Cell(arch=tiny_arch(n_cold=3), matrix=matrix).key()
+
+    def test_short_name_and_matrix_object_share_key(self):
+        from repro.experiments.matrices import load_matrix
+
+        arch = tiny_arch()
+        assert (
+            Cell(arch=arch, matrix="ski").key()
+            == Cell(arch=arch, matrix=load_matrix("ski")).key()
+        )
+
+    def test_strategy_subset_respected(self, matrix, tmp_path):
+        executor = ExperimentExecutor(cache=ResultCache(tmp_path))
+        run = executor.evaluate(
+            tiny_arch(), matrix, calibrate=False, strategies=(HOT_ONLY, HOTTILES)
+        )
+        assert set(run.outcomes) == {HOT_ONLY, HOTTILES}
+
+    def test_render_mentions_hit_rate(self, cells, tmp_path):
+        executor = ExperimentExecutor(cache=ResultCache(tmp_path))
+        executor.run_cells(cells)
+        text = executor.stats.render()
+        assert "hit rate" in text
+        assert "4 miss" in text
+
+
+class TestValidation:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ExperimentExecutor(jobs=0)
+
+    def test_empty_cells(self):
+        assert ExperimentExecutor().run_cells([]) == []
+
+
+class TestActiveExecutor:
+    def test_default_is_serial_uncached(self):
+        executor = get_executor()
+        assert executor.jobs == 1
+        assert executor.cache is None
+
+    def test_use_executor_restores(self):
+        before = get_executor()
+        replacement = ExperimentExecutor()
+        with use_executor(replacement) as active:
+            assert active is replacement
+            assert get_executor() is replacement
+        assert get_executor() is before
+
+    def test_configure_executor(self, tmp_path):
+        executor = configure_executor(jobs=3, cache_dir=str(tmp_path))
+        assert executor.jobs == 3
+        assert executor.cache is not None
+        assert executor.cache.cache_dir == tmp_path
+        assert configure_executor(no_cache=True).cache is None
+
+    def test_figures_route_through_active_executor(self, tmp_path):
+        """``_runs`` in the figure drivers must use the installed executor."""
+        from repro.experiments.figures import figure04
+
+        executor = ExperimentExecutor(cache=ResultCache(tmp_path))
+        with use_executor(executor):
+            figure04(subset=["ski"])
+        assert executor.stats.cells == 2  # two architectures x one matrix
+        with use_executor(ExperimentExecutor(cache=ResultCache(tmp_path))) as warm:
+            figure04(subset=["ski"])
+        assert warm.stats.hit_rate == 1.0
+
+    def test_sweeps_route_through_active_executor(self, matrix, tmp_path):
+        from repro.experiments.sweeps import cold_count_sweep
+
+        executor = ExperimentExecutor(cache=ResultCache(tmp_path))
+        with use_executor(executor):
+            first = cold_count_sweep(tiny_arch(), matrix, [2, 4])
+        assert executor.stats.cells == 2
+        with use_executor(ExperimentExecutor(cache=ResultCache(tmp_path))) as warm:
+            second = cold_count_sweep(tiny_arch(), matrix, [2, 4])
+        assert warm.stats.hit_rate == 1.0
+        assert first.rows == second.rows

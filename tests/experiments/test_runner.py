@@ -53,6 +53,23 @@ class TestEvaluateMatrix:
             abs(o.predicted_s - o.time_s) / o.time_s
         )
 
+    def test_prediction_error_zero_time_is_none(self, run):
+        # A degenerate empty/all-zero matrix simulates in exactly 0s;
+        # relative error is undefined there, not a ZeroDivisionError.
+        from dataclasses import replace
+
+        degenerate = replace(run.outcomes[HOTTILES], time_s=0.0, predicted_s=1.0)
+        assert degenerate.prediction_error is None
+
+    def test_empty_matrix_evaluates_without_error(self):
+        from repro.sparse.matrix import SparseMatrix
+
+        run = evaluate_matrix(
+            tiny_arch(), SparseMatrix.empty(16, 16), calibrate=False
+        )
+        for outcome in run.outcomes.values():
+            assert outcome.prediction_error is None or outcome.prediction_error >= 0
+
     def test_hot_nnz_fraction_extremes(self, run):
         assert run.outcomes[HOT_ONLY].hot_nnz_fraction == 1.0
         assert run.outcomes[COLD_ONLY].hot_nnz_fraction == 0.0
@@ -84,6 +101,40 @@ class TestCalibration:
             out.cold.traits.vis_lat_s_per_byte != arch.cold.traits.vis_lat_s_per_byte
             or out.hot.traits.vis_lat_s_per_byte != arch.hot.traits.vis_lat_s_per_byte
         )
+
+    def test_calibrated_shared_across_equal_configs(self):
+        # Digest keying: two structurally equal architectures share one
+        # cache entry even though they are distinct objects.
+        assert calibrated(tiny_arch()) is calibrated(tiny_arch())
+
+    def test_calibration_cache_is_bounded(self, monkeypatch):
+        # Sweeps construct a fresh Architecture per point; the cache must
+        # not grow without limit across them (the old unbounded lru_cache
+        # leaked one calibration per bandwidth/scale sweep point).  Real
+        # calibration is seconds-scale, so stub it out: the LRU mechanics
+        # are what is under test.
+        import dataclasses
+
+        from repro.experiments import runner
+
+        monkeypatch.setattr(
+            runner, "calibrate_architecture", lambda arch, measure, tiles: arch
+        )
+        base = tiny_arch()
+        before = dict(runner._CALIBRATION_CACHE)
+        try:
+            runner.clear_calibration_cache()
+            for i in range(runner._CALIBRATION_CACHE_MAX + 8):
+                point = dataclasses.replace(
+                    base, mem_bw_gbs=base.mem_bw_gbs * (1.0 + 1e-6 * (i + 1))
+                )
+                calibrated(point)
+                assert len(runner._CALIBRATION_CACHE) <= runner._CALIBRATION_CACHE_MAX
+            # Oldest entries were evicted, newest survive.
+            assert len(runner._CALIBRATION_CACHE) == runner._CALIBRATION_CACHE_MAX
+        finally:
+            runner.clear_calibration_cache()
+            runner._CALIBRATION_CACHE.update(before)
 
     def test_calibration_reduces_homogeneous_error(self, matrix):
         raw = evaluate_matrix(tiny_arch(), matrix, calibrate=False)

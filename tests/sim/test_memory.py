@@ -69,6 +69,46 @@ class TestPcie:
         assert rates.sum() <= 60.0 + 1e-9
 
 
+class TestTieDetection:
+    """Regression: resource ties must be detected with a *relative*
+    tolerance.  Bandwidths are bytes/s of order 1e10-1e11 where float
+    rounding noise is ~1e-5 absolute, so the old absolute 1e-18 epsilon
+    could never fire and one of two simultaneously-exhausted resources
+    went uncounted as limiting."""
+
+    def test_dram_pcie_tie_up_to_float_noise(self):
+        # Three equal users; DRAM exhausts at a fair share of exactly
+        # s = bw/3, and the PCIe link in front of user 2 exhausts at
+        # s * (1 - 1e-13) -- equal to the DRAM headroom up to float
+        # noise (1e-3 B/s at this scale), but 9 orders of magnitude
+        # above any real configuration difference.
+        s = 1e10
+        caps = np.array([2 * s, 2 * s, 2 * s])
+        pcie = np.array([False, False, True])
+        rates = allocate_rates(caps, 3 * s, pcie, s * (1.0 - 1e-13))
+        # Max-min fairness demands all three rise and freeze together at
+        # the tied fair share.  Without tie detection only the PCIe user
+        # froze in round one and the other two scooped up its leftover
+        # noise, splitting the allegedly fair rates.
+        assert rates[0] == rates[1] == rates[2]
+        assert rates[0] == pytest.approx(s, rel=1e-9)
+        assert rates.sum() <= 3 * s * (1 + 1e-9)
+
+    def test_exact_tie_still_detected(self):
+        # Both resources exhaust at exactly the same fair share.
+        caps = np.array([100.0, 100.0])
+        pcie = np.array([True, False])
+        rates = allocate_rates(caps, 100.0, pcie, 50.0)
+        np.testing.assert_allclose(rates, [50.0, 50.0])
+
+    def test_near_cap_freeze_is_relative(self):
+        # A user whose cap equals its allocation up to relative noise
+        # must freeze rather than spin with absolute-epsilon increments.
+        cap = 1e11 * (1.0 + 1e-13)
+        rates = allocate_rates(np.array([cap]), 1e11)
+        assert rates[0] == pytest.approx(1e11, rel=1e-9)
+
+
 class TestValidation:
     def test_negative_caps_rejected(self):
         with pytest.raises(ValueError, match="non-negative"):

@@ -42,6 +42,24 @@ class TestUtilizationRow:
         with pytest.raises(ValueError, match="one nnz count"):
             utilization_row("x", [], [])
 
+    def test_zero_nnz_yields_zero_lines_per_nnz(self):
+        # An empty matrix moved bytes per nonzero is defined as 0, and the
+        # geomean of all-zero samples must stay 0 rather than the floor.
+        tiled = mixed_tiled()
+        result = simulate_homogeneous(tiny_arch(), tiled, WorkerKind.COLD)
+        row = utilization_row("cold-only", [result], [0])
+        assert row.cache_lines_per_nnz == 0.0
+
+    def test_single_result(self):
+        tiled = mixed_tiled()
+        result = simulate_homogeneous(tiny_arch(), tiled, WorkerKind.COLD)
+        row = utilization_row("cold-only", [result], [tiled.matrix.nnz])
+        # Geomean of one sample is the sample itself.
+        assert row.bandwidth_gbs == pytest.approx(
+            result.bandwidth_utilization_bytes_per_sec / 1e9
+        )
+        assert row.cold_gflops == pytest.approx(result.cold.busy_gflops)
+
 
 class TestBandwidthProfile:
     def test_profile_recorded_and_consistent(self):
@@ -79,6 +97,58 @@ class TestBandwidthProfile:
         result = simulate_homogeneous(tiny_arch(), tiled, WorkerKind.COLD)
         with pytest.raises(ValueError, match="buckets"):
             bandwidth_sparkline(result, buckets=0)
+
+    def test_sparkline_empty_profile_is_blank(self):
+        from repro.core.partition import ExecutionMode
+        from repro.sim.engine import GroupStats, SimResult
+        from repro.sim.trace import bandwidth_sparkline
+
+        idle = GroupStats(instances=0, nnz=0, flops=0.0, bytes=0.0, busy_s=0.0)
+        result = SimResult(
+            time_s=0.0,
+            merge_time_s=0.0,
+            mode=ExecutionMode.PARALLEL,
+            hot=idle,
+            cold=idle,
+            bandwidth_profile=(),
+        )
+        line = bandwidth_sparkline(result, buckets=12)
+        assert line == " " * 12
+
+    def test_sparkline_zero_peak_is_blank(self):
+        from repro.core.partition import ExecutionMode
+        from repro.sim.engine import GroupStats, SimResult
+        from repro.sim.trace import bandwidth_sparkline
+
+        idle = GroupStats(instances=1, nnz=0, flops=0.0, bytes=0.0, busy_s=1.0)
+        result = SimResult(
+            time_s=1.0,
+            merge_time_s=0.0,
+            mode=ExecutionMode.PARALLEL,
+            hot=idle,
+            cold=idle,
+            bandwidth_profile=((1.0, 0.0),),
+        )
+        assert bandwidth_sparkline(result, buckets=8) == " " * 8
+
+    def test_sparkline_single_interval_is_flat_peak(self):
+        from repro.core.partition import ExecutionMode
+        from repro.sim.engine import GroupStats, SimResult
+        from repro.sim.trace import bandwidth_sparkline
+
+        busy = GroupStats(instances=1, nnz=10, flops=1.0, bytes=5.0, busy_s=1.0)
+        result = SimResult(
+            time_s=1.0,
+            merge_time_s=0.0,
+            mode=ExecutionMode.PARALLEL,
+            hot=busy,
+            cold=busy,
+            bandwidth_profile=((1.0, 5.0),),
+        )
+        line = bandwidth_sparkline(result, buckets=10)
+        # One constant-rate interval at the peak: every bucket renders the
+        # top glyph.
+        assert line == "@" * 10
 
     def test_serial_profile_spans_both_phases(self):
         import numpy as np

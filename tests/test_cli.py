@@ -38,6 +38,49 @@ class TestCli:
         assert len(out.read_text().splitlines()) == 2
 
 
+class TestExecutorFlags:
+    def test_jobs_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["fig18", "--subset", "ski", "--jobs", "0"])
+
+    def test_cache_dir_reused_across_runs(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        args = ["fig04", "--subset", "pap", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "executor:" in cold
+        assert "0 hit" in cold
+        # Second invocation serves every cell from the on-disk cache.
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "100% hit rate" in warm
+        assert "0 miss" in warm
+
+    def test_no_cache_disables_reuse(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "fig04", "--subset", "pap", "--cache-dir", cache_dir, "--no-cache"
+        ]
+        assert main(args) == 0
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 hit" in out
+        assert not (tmp_path / "cache").exists()
+
+    def test_sweep_accepts_executor_flags(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "sweep", "gea", "--kind", "k", "--points", "8",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(args) == 0
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "100% hit rate" in out
+
+
 class TestPartitionCommand:
     @staticmethod
     def _write_matrix(tmp_path):
