@@ -1,0 +1,86 @@
+"""Throughput/latency benchmark for the partition-planning service.
+
+Stands up the full stack in-process (PlanService behind the stdlib HTTP
+front end on an ephemeral port), then drives it with the closed-loop
+load generator: a cold pass that computes and stores every distinct
+plan, and a warm pass that must be served from the content-addressed
+plan store.  Reports per-pass throughput and p50/p95/p99 latency and
+asserts the serving contract: zero failed requests, reconciled server
+counters, and a >90% warm-pass store hit rate.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List
+
+from repro.service.httpd import make_server
+from repro.service.loadgen import LoadgenPass, run_loadgen
+from repro.service.planner import PlanService
+from repro.service.store import PlanStore
+
+REQUESTS = 200
+CONCURRENCY = 8
+PLANS = 6
+
+
+@dataclass(frozen=True)
+class ServiceBenchResult:
+    passes: List[LoadgenPass]
+    reconciled: bool
+    failed: int
+
+    def render(self) -> str:
+        lines = ["Plan-service benchmark "
+                 f"({REQUESTS} req/pass, {CONCURRENCY} clients, {PLANS} plans):"]
+        for p in self.passes:
+            pct = p.latency.percentiles()
+            lines.append(
+                f"  {p.name:5s} {p.throughput_rps:8.1f} req/s   "
+                f"p50 {pct['p50'] * 1e3:7.2f} ms  p95 {pct['p95'] * 1e3:7.2f} ms  "
+                f"p99 {pct['p99'] * 1e3:7.2f} ms   "
+                f"store hit rate {p.store_hit_rate:4.0%}"
+            )
+        lines.append(
+            "  counters reconcile: " + ("yes" if self.reconciled else "NO")
+        )
+        return "\n".join(lines)
+
+
+def run_service_bench(tmp_dir: str) -> ServiceBenchResult:
+    service = PlanService(store=PlanStore(tmp_dir), workers=4, queue_depth=32)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        report = run_loadgen(
+            base,
+            requests=REQUESTS,
+            concurrency=CONCURRENCY,
+            plans=PLANS,
+            passes=2,
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return ServiceBenchResult(
+        passes=report.passes, reconciled=report.reconciles(), failed=report.failed
+    )
+
+
+def test_service_bench(benchmark, tmp_path):
+    result = benchmark.pedantic(
+        lambda: run_service_bench(str(tmp_path / "plans")), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.failed == 0
+    assert result.reconciled
+    cold, warm = result.passes
+    assert cold.completed == REQUESTS and warm.completed == REQUESTS
+    # The warm pass is pure plan-store traffic.
+    assert warm.store_hit_rate > 0.9
+    assert warm.throughput_rps > 0

@@ -21,6 +21,16 @@ MatrixMarket file, exactly what the paper's host-side framework does
     hottiles partition matrix.mtx --arch spade-sextans --scale 4 \\
         [--save-dir out/] [--verify]
 
+*Serving* -- run the preprocessing pipeline as a long-lived plan service
+(see docs/service.md) and drive it::
+
+    hottiles serve [--port 8750] [--workers 2] [--queue-depth 16]
+    hottiles loadgen [--requests 200] [--concurrency 8]
+
+*Cache maintenance*::
+
+    hottiles cache stats|clear [--cache-dir D]
+
 (or ``python -m repro.cli ...``).
 """
 
@@ -63,12 +73,27 @@ _NO_SEED = {"fig18"}
 _SINGLE_MATRIX = {"fig05"}
 
 
+#: Non-experiment subcommands (the experiment ids live in EXPERIMENTS).
+SUBCOMMANDS = ("partition", "sweep", "serve", "loadgen", "cache")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("--version", "-V"):
+        from repro import __version__
+
+        print(f"hottiles {__version__}")
+        return 0
     if argv and argv[0] == "partition":
         return _partition_command(argv[1:])
     if argv and argv[0] == "sweep":
         return _sweep_command(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_command(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return _loadgen_command(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_command(argv[1:])
     return _experiment_command(argv)
 
 
@@ -131,13 +156,20 @@ def _experiment_command(argv: List[str]) -> int:
             print(f"{name:8s} {doc}")
         print("partition  run the preprocessing pipeline on a MatrixMarket file")
         print("sweep      bandwidth / K / cold-worker-count sensitivity sweeps")
+        print("serve      run the HTTP partition-planning service")
+        print("loadgen    closed-loop load generator against a running service")
+        print("cache      experiment result cache maintenance (stats, clear)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        print(
+            f"unknown experiment or subcommand: {', '.join(unknown)} -- "
+            f"run 'hottiles list' for experiments; "
+            f"subcommands: {', '.join(SUBCOMMANDS)}",
+            file=sys.stderr,
+        )
         return 2
 
     executor = _executor_from(args)
@@ -164,6 +196,8 @@ def _experiment_command(argv: List[str]) -> int:
                 print(f"rows exported to {args.csv}")
     if executor.stats.cells:
         print(executor.stats.render())
+    if executor.cache is not None:
+        executor.cache.flush_counters()
     return 0
 
 
@@ -225,6 +259,8 @@ def _sweep_command(argv: List[str]) -> int:
     )
     print(f"best strategy per point -- {winners}")
     print(executor.stats.render())
+    if executor.cache is not None:
+        executor.cache.flush_counters()
     return 0
 
 
@@ -320,6 +356,163 @@ def _save_formats(result, out: Path) -> List[str]:
     )
     saved.append(str(assignment_path))
     return saved
+
+
+# ----------------------------------------------------------------------
+def _serve_command(argv: List[str]) -> int:
+    from repro.service.httpd import make_server
+    from repro.service.planner import PlanService
+    from repro.service.store import PlanStore
+
+    parser = argparse.ArgumentParser(
+        prog="hottiles serve",
+        description="Run the HTTP partition-planning service (docs/service.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8750, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="plan worker threads (default: 2)"
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="admission queue depth before 429 load shedding (default: 16)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="default per-request wait bound in seconds (default: 60)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="plan store directory (default: <cache dir>/plans)",
+    )
+    parser.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        help="byte cap for stored plan results (oldest evicted first)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    args = parser.parse_args(argv)
+
+    store = PlanStore(args.store_dir, max_bytes=args.store_max_bytes)
+    service = PlanService(
+        store=store,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_timeout_s=args.timeout,
+    )
+    server = make_server(service, host=args.host, port=args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(
+        f"hottiles plan service on http://{host}:{port} "
+        f"({args.workers} workers, queue depth {args.queue_depth}, "
+        f"store {store.store_dir})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining in-flight plans...", flush=True)
+    finally:
+        server.server_close()
+        service.close(drain=True)
+    counters = service.metrics.snapshot()["counters"]
+    print(
+        "served: "
+        + ", ".join(f"{k.split('_', 1)[1]}={v}" for k, v in counters.items()
+                    if k.startswith("requests_"))
+    )
+    return 0
+
+
+def _loadgen_command(argv: List[str]) -> int:
+    from repro.service.loadgen import run_loadgen
+
+    parser = argparse.ArgumentParser(
+        prog="hottiles loadgen",
+        description="Closed-loop load generator against a running plan service",
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8750", help="service base URL"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=200, help="requests per pass (default: 200)"
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=8, help="in-flight clients (default: 8)"
+    )
+    parser.add_argument(
+        "--plans",
+        type=int,
+        default=4,
+        help="distinct plan requests drawn round-robin (default: 4)",
+    )
+    parser.add_argument(
+        "--passes",
+        type=int,
+        default=2,
+        help="workload passes; pass 1 is cold, the rest are warm (default: 2)",
+    )
+    args = parser.parse_args(argv)
+    if args.passes < 1:
+        raise SystemExit("--passes must be >= 1")
+
+    report = run_loadgen(
+        args.url.rstrip("/"),
+        requests=args.requests,
+        concurrency=args.concurrency,
+        plans=args.plans,
+        passes=args.passes,
+    )
+    print(report.render())
+    return 1 if report.failed or not report.reconciles() else 0
+
+
+def _cache_command(argv: List[str]) -> int:
+    from repro.experiments.cache import ResultCache
+
+    parser = argparse.ArgumentParser(
+        prog="hottiles cache",
+        description="Experiment result cache maintenance",
+    )
+    parser.add_argument("action", choices=("stats", "clear"))
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $HOTTILES_CACHE_DIR or ~/.cache/hottiles)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        cache = ResultCache(args.cache_dir)
+    except NotADirectoryError as exc:
+        raise SystemExit(f"--cache-dir: {exc}")
+
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.cache_dir}")
+        return 0
+    stats = cache.stats()
+    total = stats["lifetime_hits"] + stats["lifetime_misses"]
+    rate = stats["lifetime_hits"] / total if total else 0.0
+    print(f"cache dir:   {stats['cache_dir']}")
+    print(f"entries:     {stats['entries']}")
+    print(f"total bytes: {stats['total_bytes']}")
+    cap = stats["max_bytes"]
+    print(f"byte cap:    {cap if cap is not None else 'unbounded'}")
+    print(
+        f"lifetime:    {stats['lifetime_hits']} hits, "
+        f"{stats['lifetime_misses']} misses ({rate:.0%} hit rate)"
+    )
+    return 0
 
 
 if __name__ == "__main__":

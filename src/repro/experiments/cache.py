@@ -26,11 +26,12 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import json
 import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -168,9 +169,21 @@ class ResultCache:
     atomic (temp file + rename) so concurrent processes -- e.g. the
     workers of a parallel sweep -- never observe a torn entry; a corrupt
     or unreadable entry is treated as a miss and removed.
+
+    ``max_bytes`` caps the total entry size: after every ``put`` the
+    oldest entries (by file mtime) are evicted until the store fits.
+    ``None`` (the default) means unbounded.
     """
 
-    def __init__(self, cache_dir: Union[str, Path, None] = None) -> None:
+    #: File holding merge-added lifetime hit/miss counters (see
+    #: :meth:`flush_counters`); lives inside ``cache_dir``.
+    COUNTERS_FILE = "counters.json"
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path, None] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -178,6 +191,9 @@ class ResultCache:
             raise NotADirectoryError(
                 f"cache dir {self.cache_dir} exists and is not a directory"
             ) from None
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0 (or None for unbounded)")
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
 
@@ -217,6 +233,8 @@ class ResultCache:
         except BaseException:
             Path(tmp).unlink(missing_ok=True)
             raise
+        if self.max_bytes is not None:
+            self.evict_to(self.max_bytes)
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
@@ -231,6 +249,93 @@ class ResultCache:
             path.unlink(missing_ok=True)
             removed += 1
         return removed
+
+    # ------------------------------------------------------------------
+    # Maintenance: sizing, eviction, lifetime counters
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Tuple[float, int, Path]]:
+        """Every entry as ``(mtime, size_bytes, path)``, oldest first."""
+        found = []
+        for path in self.cache_dir.glob("??/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # evicted by a concurrent process
+            found.append((stat.st_mtime, stat.st_size, path))
+        found.sort(key=lambda e: (e[0], str(e[2])))
+        return found
+
+    def total_bytes(self) -> int:
+        """Total size of every entry on disk."""
+        return sum(size for _, size, _ in self.entries())
+
+    def evict_to(self, max_bytes: int) -> int:
+        """Remove oldest entries until the store holds <= ``max_bytes``.
+
+        Returns the number of entries evicted.  Oldest-first by mtime:
+        a ``get`` does not refresh recency, so this is FIFO by write
+        time -- the right policy for content-addressed entries whose
+        value never changes, only their likelihood of being re-requested.
+        """
+        listing = self.entries()
+        total = sum(size for _, size, _ in listing)
+        evicted = 0
+        for _, size, path in listing:
+            if total <= max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            evicted += 1
+        return evicted
+
+    def _counters_path(self) -> Path:
+        return self.cache_dir / self.COUNTERS_FILE
+
+    def persisted_counters(self) -> Dict[str, int]:
+        """Lifetime hit/miss totals merge-added by :meth:`flush_counters`."""
+        try:
+            data = json.loads(self._counters_path().read_text())
+            return {"hits": int(data["hits"]), "misses": int(data["misses"])}
+        except (OSError, ValueError, KeyError, TypeError):
+            return {"hits": 0, "misses": 0}
+
+    def flush_counters(self) -> None:
+        """Merge this process's hit/miss counts into the on-disk totals.
+
+        Atomic replace; concurrent flushers can lose each other's
+        increments in a read-modify-write race, which is acceptable for
+        advisory statistics.  In-memory counters reset so a second flush
+        does not double-count.
+        """
+        if not self.hits and not self.misses:
+            return
+        totals = self.persisted_counters()
+        totals["hits"] += self.hits
+        totals["misses"] += self.misses
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(totals, fh)
+            os.replace(tmp, self._counters_path())
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        self.reset_counters()
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count, byte totals, and session + lifetime counters."""
+        listing = self.entries()
+        lifetime = self.persisted_counters()
+        return {
+            "cache_dir": str(self.cache_dir),
+            "entries": len(listing),
+            "total_bytes": sum(size for _, size, _ in listing),
+            "max_bytes": self.max_bytes,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+            "lifetime_hits": lifetime["hits"] + self.hits,
+            "lifetime_misses": lifetime["misses"] + self.misses,
+        }
 
     @property
     def hit_rate(self) -> float:

@@ -48,11 +48,15 @@ class PreprocessResult:
 
 
 class HotTilesPreprocessor:
-    """Scan + model + partition + format generation for one architecture."""
+    """Scan + model + partition + format generation for one architecture.
 
-    def __init__(self, arch: Architecture) -> None:
+    ``cache_aware`` enables the Sec. X cache-aware model extension in the
+    partitioner -- the strategy knob plan requests expose.
+    """
+
+    def __init__(self, arch: Architecture, cache_aware: bool = False) -> None:
         self.arch = arch
-        self.partitioner = HotTilesPartitioner(arch)
+        self.partitioner = HotTilesPartitioner(arch, cache_aware=cache_aware)
 
     def run(self, matrix: SparseMatrix) -> PreprocessResult:
         """Full pipeline over one sparse matrix.

@@ -5,11 +5,18 @@ e.g., they can be generated and used during GNN training and then saved
 and reused during GNN inference" (Sec. VI-B).  This module round-trips
 the four accelerator formats and the partition assignment through ``.npz``
 archives so a preprocessing run is a durable artifact.
+
+Writes are atomic: each archive is written to a temporary file in the
+destination directory and published with ``os.replace``, so a reader
+(e.g. another plan-service worker, or a process that crashed mid-write)
+can only ever observe a complete artifact or none at all.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Type, Union
 
@@ -22,6 +29,31 @@ __all__ = ["save_format", "load_format", "save_assignment", "load_assignment"]
 _FORMAT_TYPES: Dict[str, Type] = {
     cls.__name__: cls for cls in (UntiledCoo, TiledCoo, UntiledCsr, TiledCsr)
 }
+
+
+def _atomic_savez(path: Union[str, Path], payload: Dict[str, np.ndarray]) -> Path:
+    """``np.savez`` into ``path`` atomically; returns the final path.
+
+    Mirrors ``np.savez``'s naming rule (append ``.npz`` unless already
+    present), but stages the archive in a temp file in the destination
+    directory and publishes it with ``os.replace`` -- a crash mid-write
+    leaves no partial ``.npz`` visible, only an unreferenced temp file
+    that is removed on the way out.
+    """
+    final = Path(path)
+    if final.suffix != ".npz":
+        final = final.with_suffix(final.suffix + ".npz")
+    fd, tmp = tempfile.mkstemp(
+        dir=final.parent, prefix=f".{final.stem}-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, final)
+    except BaseException:
+        Path(tmp).unlink(missing_ok=True)
+        raise
+    return final
 
 #: Scalar (non-array) constructor fields per format type.
 _SCALAR_FIELDS = {
@@ -47,8 +79,7 @@ def save_format(fmt: AnyFormat, path: Union[str, Path]) -> Path:
         else:
             scalars[field_name] = int(value)
     payload["__scalars__"] = np.array(json.dumps(scalars))
-    np.savez(path, **payload)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return _atomic_savez(path, payload)
 
 
 def load_format(path: Union[str, Path]) -> AnyFormat:
@@ -76,14 +107,14 @@ def save_assignment(
     assignment: np.ndarray, path: Union[str, Path], label: str = "", mode: str = ""
 ) -> Path:
     """Persist a hot/cold tile assignment with its provenance labels."""
-    path = Path(path)
-    np.savez(
+    return _atomic_savez(
         path,
-        assignment=np.asarray(assignment, dtype=bool),
-        label=np.array(label),
-        mode=np.array(mode),
+        {
+            "assignment": np.asarray(assignment, dtype=bool),
+            "label": np.array(label),
+            "mode": np.array(mode),
+        },
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def load_assignment(path: Union[str, Path]):

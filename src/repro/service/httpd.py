@@ -1,0 +1,162 @@
+"""The stdlib HTTP front end of the plan service.
+
+Endpoints (all JSON):
+
+- ``POST /plan`` -- body is a :class:`~repro.service.protocol.PlanRequest`
+  object; replies ``200`` with ``{"served": ..., "plan": {...}}``,
+  ``400`` on a malformed request, ``429`` + ``Retry-After`` when the
+  admission queue sheds load, ``504`` on a per-request timeout, ``503``
+  while draining, ``500`` when the plan computation itself failed.
+- ``GET /plan/<digest>`` -- a previously computed plan, or ``404``.
+- ``GET /healthz`` -- liveness (``200`` while serving, ``503`` draining).
+- ``GET /stats`` -- the full metrics snapshot.
+
+Built on :class:`http.server.ThreadingHTTPServer`: one thread per
+connection feeding the service's bounded admission queue, which is where
+concurrency is actually limited.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.planner import (
+    AdmissionRejected,
+    PlanFailed,
+    PlanService,
+    PlanTimeout,
+    ServiceClosed,
+)
+from repro.service.protocol import PlanRequest, ProtocolError
+
+__all__ = ["PlanHTTPServer", "PlanRequestHandler", "make_server"]
+
+_HEX = set("0123456789abcdef")
+
+
+class PlanRequestHandler(BaseHTTPRequestHandler):
+    server: "PlanHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 -- stdlib naming
+        if self.path.rstrip("/") != "/plan":
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        try:
+            payload = self._read_json_body()
+            request = PlanRequest.from_dict(payload)
+        except ProtocolError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        service = self.server.service
+        try:
+            result, served = service.plan(request)
+        except AdmissionRejected as exc:
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                extra_headers={"Retry-After": f"{exc.retry_after_s:.3f}"},
+            )
+        except PlanTimeout as exc:
+            self._send_json(504, {"error": str(exc), "digest": exc.digest})
+        except ServiceClosed as exc:
+            self._send_json(503, {"error": str(exc)})
+        except PlanFailed as exc:
+            self._send_json(500, {"error": str(exc)})
+        except ProtocolError as exc:
+            # Raised while resolving the matrix inside the worker path.
+            self._send_json(400, {"error": str(exc)})
+        else:
+            self._send_json(200, {"served": served, "plan": result.to_dict()})
+
+    def do_GET(self) -> None:  # noqa: N802
+        path = self.path.rstrip("/") or "/"
+        service = self.server.service
+        if path == "/healthz":
+            if service.closed:
+                self._send_json(503, {"status": "draining"})
+            else:
+                self._send_json(200, {"status": "ok"})
+        elif path == "/stats":
+            self._send_json(200, service.stats())
+        elif path.startswith("/plan/"):
+            digest = path[len("/plan/"):]
+            if not digest or set(digest) - _HEX:
+                self._send_json(400, {"error": f"not a hex digest: {digest!r}"})
+                return
+            result = service.store.get(digest)
+            if result is None:
+                self._send_json(404, {"error": f"no stored plan for {digest[:12]}"})
+            else:
+                self._send_json(200, {"served": "store", "plan": result.to_dict()})
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+
+    # ------------------------------------------------------------------
+    def _read_json_body(self) -> Dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise ProtocolError("bad Content-Length header") from None
+        if length <= 0:
+            raise ProtocolError("request body required")
+        if length > self.server.max_body_bytes:
+            raise ProtocolError(
+                f"request body too large ({length} > {self.server.max_body_bytes} bytes)"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from None
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+
+class PlanHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`PlanService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: PlanService,
+        verbose: bool = False,
+        max_body_bytes: int = 1 << 20,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        self.max_body_bytes = max_body_bytes
+        super().__init__(address, PlanRequestHandler)
+
+
+def make_server(
+    service: PlanService,
+    host: str = "127.0.0.1",
+    port: int = 8750,
+    verbose: bool = False,
+) -> PlanHTTPServer:
+    """Bind (``port=0`` picks an ephemeral port) without starting to serve."""
+    return PlanHTTPServer((host, port), service, verbose=verbose)

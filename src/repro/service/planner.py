@@ -1,0 +1,346 @@
+"""The partition-planning service core.
+
+:class:`PlanService` owns a bounded admission queue, a pool of plan
+worker threads running :class:`~repro.pipeline.preprocess.
+HotTilesPreprocessor`, the content-addressed :class:`~repro.service.
+store.PlanStore`, and a :class:`~repro.service.metrics.MetricsRegistry`.
+
+Request lifecycle::
+
+    plan(request)
+      -> store hit?            serve immediately           [completed]
+      -> digest in flight?     join the existing compute   [coalesced, completed]
+      -> queue has room?       enqueue a new compute       [completed | failed]
+      -> queue full            AdmissionRejected           [rejected]
+
+Every admitted request waits on the shared computation with its own
+timeout; a computation abandoned by all of its waiters before a worker
+picks it up is cancelled instead of executed.  Threads (not processes)
+are the right grain here: one plan is milliseconds-to-seconds of
+numpy-heavy work that releases the GIL in its hot loops, and the store
+and coalescing map are cheap to share in-process.
+
+Counter semantics (the reconciliation the load generator checks):
+
+- every arriving request ends in exactly one of ``requests_rejected``,
+  ``requests_timeout``, ``requests_failed``, or ``requests_completed``;
+- ``requests_accepted`` counts everything admitted past backpressure
+  (store hits, coalesced joins, and new computations), so after a drain
+  ``accepted == completed + failed + timeout``;
+- ``requests_coalesced`` is informational (a subset of ``accepted``);
+- ``plans_computed`` / ``plans_cancelled`` count unique computations,
+  not requests.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import PlanRequest, PlanResult
+from repro.service.store import PlanStore
+
+__all__ = [
+    "AdmissionRejected",
+    "PlanTimeout",
+    "PlanFailed",
+    "ServiceClosed",
+    "PlanService",
+]
+
+
+class AdmissionRejected(RuntimeError):
+    """The admission queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(
+            f"admission queue full, retry after {retry_after_s:.3f}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class PlanTimeout(TimeoutError):
+    """The caller's wait bound elapsed before the plan completed."""
+
+    def __init__(self, digest: str, timeout_s: float) -> None:
+        super().__init__(f"plan {digest[:12]} not ready within {timeout_s:.3f}s")
+        self.digest = digest
+
+
+class PlanFailed(RuntimeError):
+    """The plan computation raised; carries the worker-side error text."""
+
+
+class ServiceClosed(RuntimeError):
+    """The service is draining or stopped and admits no new requests."""
+
+
+class _Inflight:
+    """One shared computation that any number of requests wait on."""
+
+    __slots__ = ("digest", "request", "event", "result", "error", "waiters",
+                 "started", "cancelled", "enqueued_at")
+
+    def __init__(self, digest: str, request: PlanRequest) -> None:
+        self.digest = digest
+        self.request = request
+        self.event = threading.Event()
+        self.result: Optional[PlanResult] = None
+        self.error: Optional[str] = None
+        self.waiters = 1
+        self.started = False
+        self.cancelled = False
+        self.enqueued_at = time.monotonic()
+
+
+_SENTINEL = object()
+
+
+class PlanService:
+    """Async plan-serving: admission control, coalescing, worker pool."""
+
+    def __init__(
+        self,
+        store: Optional[PlanStore] = None,
+        workers: int = 2,
+        queue_depth: int = 16,
+        default_timeout_s: float = 60.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.store = store if store is not None else PlanStore()
+        self.workers = int(workers)
+        self.queue_depth = int(queue_depth)
+        self.default_timeout_s = float(default_timeout_s)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.started_unix = time.time()
+
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth)
+        self._inflight: Dict[str, _Inflight] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._discard = False
+
+        m = self.metrics
+        self._accepted = m.counter("requests_accepted")
+        self._rejected = m.counter("requests_rejected")
+        self._coalesced = m.counter("requests_coalesced")
+        self._completed = m.counter("requests_completed")
+        self._failed = m.counter("requests_failed")
+        self._timeout = m.counter("requests_timeout")
+        self._computed = m.counter("plans_computed")
+        self._cancelled = m.counter("plans_cancelled")
+        self._queue_gauge = m.gauge("queue_depth")
+        self._inflight_gauge = m.gauge("plans_in_flight")
+        self._latency = m.histogram("request_latency_s")
+        self._plan_wall = m.histogram("plan_wall_s")
+        self._queue_wait = m.histogram("queue_wait_s")
+
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"plan-worker-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # The request path
+    # ------------------------------------------------------------------
+    def plan(
+        self, request: PlanRequest, timeout_s: Optional[float] = None
+    ) -> Tuple[PlanResult, str]:
+        """Serve one plan request, blocking until done or timed out.
+
+        Returns ``(result, served)`` where ``served`` is ``"store"``
+        (warm hit), ``"computed"`` (this request triggered the
+        computation), or ``"coalesced"`` (joined an in-flight one).
+
+        Raises :class:`ServiceClosed`, :class:`AdmissionRejected`,
+        :class:`PlanTimeout`, :class:`PlanFailed`, or
+        :class:`~repro.service.protocol.ProtocolError`.
+        """
+        start = time.monotonic()
+        if self._closed:
+            raise ServiceClosed("service is shutting down")
+        if timeout_s is None:
+            timeout_s = (
+                request.timeout_s
+                if request.timeout_s is not None
+                else self.default_timeout_s
+            )
+        digest = request.digest()
+
+        cached = self.store.get(digest)
+        if cached is not None:
+            self._accepted.inc()
+            self._completed.inc()
+            self._latency.observe(time.monotonic() - start)
+            return cached, "store"
+
+        entry, primary = self._join_or_register(digest, request)
+        if primary:
+            if self._closed:  # close() raced us between register and enqueue
+                with self._lock:
+                    self._inflight.pop(digest, None)
+                raise ServiceClosed("service is shutting down")
+            try:
+                self._queue.put_nowait(entry)
+            except queue.Full:
+                with self._lock:
+                    self._inflight.pop(digest, None)
+                self._rejected.inc()
+                raise AdmissionRejected(self._retry_after()) from None
+            self._queue_gauge.set(self._queue.qsize())
+        self._accepted.inc()
+        if not primary:
+            self._coalesced.inc()
+
+        served = "computed" if primary else "coalesced"
+        if not entry.event.wait(timeout_s):
+            with self._lock:
+                entry.waiters -= 1
+                if entry.waiters <= 0 and not entry.started:
+                    entry.cancelled = True
+            self._timeout.inc()
+            raise PlanTimeout(digest, timeout_s)
+        if entry.error is not None:
+            self._failed.inc()
+            raise PlanFailed(entry.error)
+        self._completed.inc()
+        self._latency.observe(time.monotonic() - start)
+        assert entry.result is not None
+        return entry.result, served
+
+    def _join_or_register(
+        self, digest: str, request: PlanRequest
+    ) -> Tuple[_Inflight, bool]:
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shutting down")
+            entry = self._inflight.get(digest)
+            if entry is not None and not entry.cancelled:
+                entry.waiters += 1
+                return entry, False
+            entry = _Inflight(digest, request)
+            self._inflight[digest] = entry
+            return entry, True
+
+    def _retry_after(self) -> float:
+        """Advisory client backoff: about one plan's worth of queue motion."""
+        p50 = self._plan_wall.percentile(50)
+        return max(0.05, min(p50 if p50 > 0 else 0.1, 5.0))
+
+    # ------------------------------------------------------------------
+    # The worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            self._queue_gauge.set(self._queue.qsize())
+            with self._lock:
+                if item.cancelled or self._discard:
+                    self._inflight.pop(item.digest, None)
+                    item.error = "cancelled before execution"
+                    item.event.set()
+                    self._cancelled.inc()
+                    continue
+                item.started = True
+            self._queue_wait.observe(time.monotonic() - item.enqueued_at)
+            self._inflight_gauge.inc()
+            start = time.monotonic()
+            try:
+                item.result = self._compute(item.request, item.digest)
+            except Exception as exc:  # noqa: BLE001 -- surfaced to every waiter
+                item.error = f"{type(exc).__name__}: {exc}"
+            finally:
+                wall = time.monotonic() - start
+                with self._lock:
+                    self._inflight.pop(item.digest, None)
+                item.event.set()
+                self._inflight_gauge.dec()
+                self._computed.inc()
+                self._plan_wall.observe(wall)
+
+    def _compute(self, request: PlanRequest, digest: str) -> PlanResult:
+        """Resolve, preprocess, persist -- the whole Sec. VI-B pipeline."""
+        from repro.pipeline.preprocess import HotTilesPreprocessor
+
+        start = time.monotonic()
+        matrix = request.resolve_matrix()
+        arch = request.build_architecture()
+        preprocess = HotTilesPreprocessor(
+            arch, cache_aware=request.cache_aware
+        ).run(matrix)
+        artifacts = tuple(self.store.save_artifacts(digest, preprocess))
+        result = PlanResult.from_preprocess(
+            request,
+            digest,
+            matrix,
+            preprocess,
+            plan_wall_s=time.monotonic() - start,
+            artifacts=artifacts,
+        )
+        # Publish to the store *before* waking waiters/deregistering so a
+        # request that misses the in-flight map can only do so after the
+        # store already holds the result.
+        self.store.put(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection and shutdown
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """One JSON-serializable snapshot (the ``/stats`` payload)."""
+        snapshot = self.metrics.snapshot()
+        snapshot["store"] = self.store.stats()
+        snapshot["uptime_s"] = time.time() - self.started_unix
+        snapshot["config"] = {
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "default_timeout_s": self.default_timeout_s,
+        }
+        snapshot["closed"] = self._closed
+        return snapshot
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admission, finish (or discard) queued plans, join workers.
+
+        ``drain=True`` lets every already-admitted plan complete so no
+        accepted request is abandoned; ``drain=False`` cancels whatever a
+        worker has not yet started.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                already = True
+            else:
+                already = False
+                self._closed = True
+                if not drain:
+                    self._discard = True
+        if already:
+            return
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        for thread in self._threads:
+            thread.join()
+        self.store.flush_counters()
+
+    def __enter__(self) -> "PlanService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close(drain=True)

@@ -53,9 +53,21 @@ def read_matrix_market(
     dims = line.split()
     if len(dims) != 3:
         raise ValueError(f"bad size line: {line.strip()!r}")
-    n_rows, n_cols, nnz = (int(x) for x in dims)
+    try:
+        n_rows, n_cols, nnz = (int(x) for x in dims)
+    except ValueError:
+        raise ValueError(
+            f"size line must be three integers, got {line.strip()!r}"
+        ) from None
+    if n_rows < 0 or n_cols < 0 or nnz < 0:
+        raise ValueError(
+            f"size line values must be non-negative, got {line.strip()!r}"
+        )
 
-    body = np.loadtxt(source, ndmin=2) if nnz else np.zeros((0, 3))
+    try:
+        body = np.loadtxt(source, ndmin=2) if nnz else np.zeros((0, 3))
+    except ValueError as exc:
+        raise ValueError(f"malformed coordinate entries: {exc}") from None
     if body.shape[0] != nnz:
         raise ValueError(f"expected {nnz} entries, found {body.shape[0]}")
     expected_cols = 2 if field == "pattern" else 3
@@ -65,6 +77,15 @@ def read_matrix_market(
         )
     rows = body[:, 0].astype(np.int64) - 1
     cols = body[:, 1].astype(np.int64) - 1
+    if nnz:
+        for name, idx, bound in (("row", rows, n_rows), ("column", cols, n_cols)):
+            lo, hi = int(idx.min()), int(idx.max())
+            if lo < 0 or hi >= bound:
+                bad = lo + 1 if lo < 0 else hi + 1
+                raise ValueError(
+                    f"{name} index {bad} out of range for a "
+                    f"{n_rows}x{n_cols} matrix (1-based indices expected)"
+                )
     vals = np.ones(nnz, dtype=dtype) if field == "pattern" else body[:, 2].astype(dtype)
 
     if symmetry in ("symmetric", "skew-symmetric"):

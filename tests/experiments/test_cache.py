@@ -207,3 +207,94 @@ class TestResultCache:
         cache.get(stable_digest("missing"))
         cache.reset_counters()
         assert cache.hits == 0 and cache.misses == 0
+
+
+class TestCacheMaintenance:
+    """Byte-size cap, oldest-first eviction, and lifetime counters."""
+
+    @staticmethod
+    def _fill(cache, n, payload_bytes=1000, start=0):
+        import os as _os
+        keys = []
+        for i in range(start, start + n):
+            key = stable_digest(("evict", i))
+            cache.put(key, b"x" * payload_bytes)
+            # Make write order unambiguous for mtime-based eviction.
+            path = cache._path(key)
+            _os.utime(path, (i, i))
+            keys.append(key)
+        return keys
+
+    def test_total_bytes_and_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 3)
+        listing = cache.entries()
+        assert len(listing) == 3
+        assert cache.total_bytes() == sum(size for _, size, _ in listing)
+        assert cache.total_bytes() > 3000
+
+    def test_evict_to_removes_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = self._fill(cache, 4)
+        per_entry = cache.total_bytes() // 4
+        evicted = cache.evict_to(2 * per_entry)
+        assert evicted == 2
+        assert keys[0] not in cache and keys[1] not in cache
+        assert keys[2] in cache and keys[3] in cache
+
+    def test_put_enforces_cap(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=0)
+        key = stable_digest("capped")
+        cache.put(key, "value")
+        # A zero-byte cap evicts immediately: the store never grows.
+        assert len(cache) == 0
+
+    def test_cap_keeps_newest(self, tmp_path):
+        probe = ResultCache(tmp_path / "probe")
+        self._fill(probe, 1)
+        per_entry = probe.total_bytes()
+        cache = ResultCache(tmp_path / "real", max_bytes=2 * per_entry)
+        keys = self._fill(cache, 5)
+        assert len(cache) <= 2
+        assert keys[-1] in cache
+
+    def test_negative_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=-1)
+
+    def test_flush_and_persisted_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_digest("counted")
+        cache.get(key)  # miss
+        cache.put(key, 1)
+        cache.get(key)  # hit
+        cache.flush_counters()
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.persisted_counters() == {"hits": 1, "misses": 1}
+        # A second process's flush merge-adds.
+        other = ResultCache(tmp_path)
+        other.get(key)
+        other.flush_counters()
+        assert cache.persisted_counters() == {"hits": 2, "misses": 1}
+
+    def test_flush_without_activity_writes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.flush_counters()
+        assert not (tmp_path / ResultCache.COUNTERS_FILE).exists()
+
+    def test_stats_shape(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=10_000)
+        key = stable_digest("statted")
+        cache.get(key)
+        cache.put(key, "v")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["max_bytes"] == 10_000
+        assert stats["session_misses"] == 1
+        assert stats["lifetime_misses"] == 1
+
+    def test_corrupt_counters_file_is_zero(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / ResultCache.COUNTERS_FILE).write_text("{broken")
+        assert cache.persisted_counters() == {"hits": 0, "misses": 0}

@@ -71,3 +71,50 @@ def test_assignment_rejects_foreign(tmp_path):
     np.savez(path, other=np.arange(2))
     with pytest.raises(ValueError, match="not a saved assignment"):
         load_assignment(path)
+
+
+class TestAtomicWrites:
+    """A crash mid-write must never publish a torn artifact."""
+
+    @staticmethod
+    def _crashing_savez(monkeypatch):
+        def crash(file, **payload):
+            # Simulate dying partway through serialization: some bytes
+            # land in the (temp) file, then the process "crashes".
+            file.write(b"PK\x03\x04 half an archive")
+            raise RuntimeError("simulated crash mid-write")
+
+        monkeypatch.setattr(np, "savez", crash)
+
+    def test_crash_leaves_no_partial_format(self, tmp_path, tiled, monkeypatch):
+        fmt = build_format(tiled, np.ones(tiled.n_tiles, dtype=bool), spade_pe())
+        self._crashing_savez(monkeypatch)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            save_format(fmt, tmp_path / "fmt.npz")
+        # No final artifact, and the staging temp file was cleaned up.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_crash_leaves_previous_artifact_intact(self, tmp_path, tiled, monkeypatch):
+        fmt = build_format(tiled, np.ones(tiled.n_tiles, dtype=bool), spade_pe())
+        path = tmp_path / "fmt.npz"
+        save_format(fmt, path)
+        good = path.read_bytes()
+        self._crashing_savez(monkeypatch)
+        with pytest.raises(RuntimeError):
+            save_format(fmt, path)
+        # The previously published artifact is untouched and loadable.
+        assert path.read_bytes() == good
+        load_format(path)
+
+    def test_crash_leaves_no_partial_assignment(self, tmp_path, monkeypatch):
+        self._crashing_savez(monkeypatch)
+        with pytest.raises(RuntimeError):
+            save_assignment(np.array([True, False]), tmp_path / "a.npz")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_appends_npz_suffix(self, tmp_path, tiled):
+        fmt = build_format(tiled, np.ones(tiled.n_tiles, dtype=bool), spade_pe())
+        returned = save_format(fmt, tmp_path / "bare")
+        assert returned == tmp_path / "bare.npz"
+        assert returned.exists()
+        load_format(returned)

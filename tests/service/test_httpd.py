@@ -1,0 +1,188 @@
+"""HTTP front-end tests against a live ephemeral-port server."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.httpd import make_server
+from repro.service.planner import PlanService
+from repro.service.store import PlanStore
+
+RMAT = {"generator": {"kind": "rmat", "scale": 8, "nnz": 2000, "seed": 0}}
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    service = PlanService(store=PlanStore(tmp_path / "plans"), workers=2, queue_depth=8)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield base, service
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def http(base, path, payload=None, timeout=30.0):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        base + path,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data else "GET",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers or {})
+
+
+class TestEndpoints:
+    def test_healthz(self, live_server):
+        base, _ = live_server
+        status, body, _ = http(base, "/healthz")
+        assert status == 200
+        assert body == {"status": "ok"}
+
+    def test_post_plan_then_warm_hit(self, live_server):
+        base, _ = live_server
+        status, body, _ = http(base, "/plan", RMAT)
+        assert status == 200
+        assert body["served"] == "computed"
+        plan = body["plan"]
+        assert plan["label"]
+        assert plan["mode"] in ("parallel", "serial")
+        assert plan["nnz"] == 2000
+        status2, body2, _ = http(base, "/plan", RMAT)
+        assert status2 == 200
+        assert body2["served"] == "store"
+        assert body2["plan"]["digest"] == plan["digest"]
+
+    def test_get_plan_by_digest(self, live_server):
+        base, _ = live_server
+        _, body, _ = http(base, "/plan", RMAT)
+        digest = body["plan"]["digest"]
+        status, got, _ = http(base, f"/plan/{digest}")
+        assert status == 200
+        assert got["plan"]["digest"] == digest
+
+    def test_get_unknown_digest_404(self, live_server):
+        base, _ = live_server
+        status, body, _ = http(base, "/plan/" + "0" * 64)
+        assert status == 404
+        assert "no stored plan" in body["error"]
+
+    def test_get_non_hex_digest_400(self, live_server):
+        base, _ = live_server
+        status, _, _ = http(base, "/plan/not-a-digest")
+        assert status == 400
+
+    def test_stats_endpoint(self, live_server):
+        base, _ = live_server
+        http(base, "/plan", RMAT)
+        status, stats, _ = http(base, "/stats")
+        assert status == 200
+        assert stats["counters"]["requests_completed"] == 1
+        assert stats["store"]["entries"] == 1
+        assert "request_latency_s" in stats["histograms"]
+
+    def test_unknown_endpoint_404(self, live_server):
+        base, _ = live_server
+        assert http(base, "/nope")[0] == 404
+        assert http(base, "/nope", {"x": 1})[0] == 404
+
+
+class TestErrorMapping:
+    def test_malformed_json_400(self, live_server):
+        base, _ = live_server
+        req = urllib.request.Request(
+            base + "/plan",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_protocol_error_400(self, live_server):
+        base, _ = live_server
+        status, body, _ = http(base, "/plan", {"matrix": "pap", "arch": "tpu"})
+        assert status == 400
+        assert "unknown arch" in body["error"]
+
+    def test_empty_body_400(self, live_server):
+        base, _ = live_server
+        req = urllib.request.Request(base + "/plan", data=b"", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_plan_failure_500(self, live_server):
+        base, _ = live_server
+        status, body, _ = http(
+            base, "/plan",
+            {"generator": {"kind": "rmat", "scale": 4, "nnz": 2000, "seed": 0}},
+        )
+        assert status == 500
+        assert "error" in body
+
+
+class TestBackpressureOverHTTP:
+    def test_queue_depth_one_sheds_with_429(self, tmp_path):
+        service = PlanService(
+            store=PlanStore(tmp_path / "plans"), workers=1, queue_depth=1
+        )
+        gate = threading.Event()
+        real = service._compute
+        service._compute = (
+            lambda request, digest: (gate.wait(15.0), real(request, digest))[1]
+        )
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            payloads = [
+                {"generator": {"kind": "rmat", "scale": 8, "nnz": 2000, "seed": s}}
+                for s in range(3)
+            ]
+            replies = []
+            clients = [
+                threading.Thread(
+                    target=lambda p=p: replies.append(http(base, "/plan", p, timeout=30))
+                )
+                for p in payloads[:2]
+            ]
+            clients[0].start()
+            # Wait until the worker is busy before sending the queue filler.
+            deadline = 5.0
+            import time as _time
+            end = _time.monotonic() + deadline
+            while service.metrics.gauge("plans_in_flight").value < 1:
+                assert _time.monotonic() < end
+                _time.sleep(0.01)
+            clients[1].start()
+            end = _time.monotonic() + deadline
+            while service._queue.qsize() < 1:
+                assert _time.monotonic() < end
+                _time.sleep(0.01)
+            # Worker busy + queue full: the third request must be shed, not stall.
+            status, body, headers = http(base, "/plan", payloads[2], timeout=10)
+            assert status == 429
+            assert float(headers["Retry-After"]) > 0
+            assert body["retry_after_s"] > 0
+            gate.set()
+            for c in clients:
+                c.join()
+            assert all(status == 200 for status, _, _ in replies)
+        finally:
+            gate.set()
+            server.shutdown()
+            server.server_close()
+            service.close()

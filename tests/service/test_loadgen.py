@@ -1,0 +1,83 @@
+"""Closed-loop load generator tests (the acceptance-criteria workload)."""
+
+import threading
+
+import pytest
+
+from repro.service.httpd import make_server
+from repro.service.loadgen import (
+    default_request_payloads,
+    run_loadgen,
+    run_pass,
+)
+from repro.service.planner import PlanService
+from repro.service.store import PlanStore
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    service = PlanService(store=PlanStore(tmp_path / "plans"), workers=2, queue_depth=8)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}", service
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+class TestPayloads:
+    def test_distinct_by_seed(self):
+        payloads = default_request_payloads(4)
+        assert len(payloads) == 4
+        assert len({p["generator"]["seed"] for p in payloads}) == 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            default_request_payloads(0)
+
+
+class TestLoadgen:
+    def test_cold_then_warm(self, live_server):
+        base, _service = live_server
+        report = run_loadgen(base, requests=40, concurrency=4, plans=3, passes=2)
+        cold, warm = report.passes
+        assert cold.completed == 40 and cold.failed == 0
+        assert warm.completed == 40 and warm.failed == 0
+        # Warm pass must be served (almost) entirely from the plan store.
+        assert warm.store_hit_rate > 0.9
+        assert warm.served.get("store", 0) == 40
+        assert warm.latency.percentile(50) <= cold.latency.percentile(99)
+        assert report.reconciles()
+        rendered = report.render()
+        assert "p95" in rendered and "reconcile" in rendered
+
+    def test_pass_counts_served_breakdown(self, live_server):
+        base, _service = live_server
+        result = run_pass(
+            base, default_request_payloads(2), requests=10, concurrency=2
+        )
+        assert result.completed == 10
+        assert sum(result.served.values()) == 10
+        assert result.throughput_rps > 0
+
+    def test_backpressure_retries_are_not_failures(self, tmp_path):
+        service = PlanService(
+            store=PlanStore(tmp_path / "plans"), workers=1, queue_depth=1
+        )
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            report = run_loadgen(base, requests=30, concurrency=8, plans=3, passes=1)
+            (cold,) = report.passes
+            # Under a depth-1 queue the server sheds load; the client
+            # retries and still finishes every request without failure.
+            assert cold.completed == 30
+            assert cold.failed == 0
+            assert report.reconciles()
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()

@@ -1,0 +1,100 @@
+"""Metrics registry unit tests."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter()
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(99) == 0.0
+
+    def test_count_sum_mean_max(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 6.0
+        assert h.mean == 2.0
+        assert h.max == 3.0
+
+    def test_percentiles_on_uniform_samples(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(95) > h.percentile(50)
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_window_is_bounded_but_count_exact(self):
+        h = Histogram(max_samples=10)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        # Window holds only the newest 10 samples (90..99).
+        assert h.percentile(0) == 90.0
+
+    def test_snapshot_keys(self):
+        h = Histogram()
+        h.observe(1.0)
+        snap = h.snapshot()
+        assert set(snap) == {"count", "sum", "mean", "max", "p50", "p95", "p99"}
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs").inc(2)
+        reg.gauge("depth").set(1)
+        reg.histogram("lat").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"reqs": 2}
+        assert snap["gauges"] == {"depth": 1.0}
+        assert snap["histograms"]["lat"]["count"] == 1

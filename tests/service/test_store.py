@@ -1,0 +1,69 @@
+"""Plan store tests."""
+
+from repro.pipeline.preprocess import HotTilesPreprocessor
+from repro.pipeline.serialize import load_assignment, load_format
+from repro.service.protocol import PlanRequest, PlanResult
+from repro.service.store import PlanStore
+
+
+def make_plan(tmp_path, seed=0):
+    req = PlanRequest.from_dict(
+        {"generator": {"kind": "rmat", "scale": 8, "nnz": 2000, "seed": seed}}
+    )
+    digest = req.digest()
+    matrix = req.resolve_matrix()
+    pre = HotTilesPreprocessor(req.build_architecture()).run(matrix)
+    store = PlanStore(tmp_path / "plans")
+    artifacts = tuple(store.save_artifacts(digest, pre))
+    result = PlanResult.from_preprocess(
+        req, digest, matrix, pre, plan_wall_s=0.01, artifacts=artifacts
+    )
+    return store, result, pre
+
+
+class TestPlanStore:
+    def test_miss_then_hit(self, tmp_path):
+        store, result, _ = make_plan(tmp_path)
+        assert store.get(result.digest) is None
+        store.put(result)
+        assert store.get(result.digest) == result
+        assert result.digest in store
+        assert store.hits == 1 and store.misses == 1
+
+    def test_artifacts_loadable(self, tmp_path):
+        store, result, pre = make_plan(tmp_path)
+        assert result.artifacts  # at least the assignment
+        assignment_paths = [p for p in result.artifacts if "assignment" in p]
+        assert len(assignment_paths) == 1
+        loaded, label, mode = load_assignment(assignment_paths[0])
+        assert label == result.label
+        assert mode == result.mode
+        for path in result.artifacts:
+            if "assignment" not in path:
+                load_format(path)  # raises if torn/foreign
+
+    def test_foreign_entry_treated_as_miss(self, tmp_path):
+        store, result, _ = make_plan(tmp_path)
+        store.results.put(result.digest, {"not": "a plan"})
+        assert store.get(result.digest) is None
+
+    def test_stats_and_flush(self, tmp_path):
+        store, result, _ = make_plan(tmp_path)
+        store.put(result)
+        store.get(result.digest)
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["hit_rate"] == 1.0
+        store.flush_counters()
+        # Flushed counts survive into a fresh store over the same dir.
+        again = PlanStore(store.store_dir)
+        assert again.stats()["lifetime_hits"] == 1
+
+    def test_clear_removes_plans_and_artifacts(self, tmp_path):
+        store, result, _ = make_plan(tmp_path)
+        store.put(result)
+        removed = store.clear()
+        assert removed == 1
+        assert store.get(result.digest) is None
+        assert not any(store.artifacts_dir.iterdir())

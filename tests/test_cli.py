@@ -141,3 +141,139 @@ class TestSweepCommand:
     def test_sweep_listed(self, capsys):
         assert main(["list"]) == 0
         assert "sweep" in capsys.readouterr().out
+
+
+class TestVersionAndUnknown:
+    def test_version_flag(self, capsys):
+        import repro
+
+        assert main(["--version"]) == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_version_short_flag(self, capsys):
+        assert main(["-V"]) == 0
+        assert "hottiles" in capsys.readouterr().out
+
+    def test_unknown_subcommand_one_line_hint(self, capsys):
+        assert main(["deploy"]) == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+        assert "serve" in err and "cache" in err
+
+    def test_new_subcommands_listed(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("serve", "loadgen", "cache"):
+            assert name in out
+
+
+class TestCacheCommand:
+    def test_stats_empty(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "entries:     0" in out
+        assert "unbounded" in out
+
+    def test_stats_after_experiment_run(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "c")
+        assert main(["fig04", "--subset", "pap", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:     0" not in out  # at least one cached cell
+        assert "misses" in out
+
+    def test_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "c")
+        assert main(["fig04", "--subset", "pap", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries:     0" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_starts_serves_and_drains_on_sigint(self, tmp_path):
+        import json
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        env["PYTHONUNBUFFERED"] = "1"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--workers", "1",
+                "--store-dir", str(tmp_path / "plans"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+            assert match, f"no server address in startup line: {line!r}"
+            base = f"http://127.0.0.1:{match.group(1)}"
+            with urllib.request.urlopen(base + "/healthz", timeout=10) as resp:
+                assert resp.status == 200
+            payload = json.dumps(
+                {"generator": {"kind": "rmat", "scale": 8, "nnz": 2000, "seed": 0}}
+            ).encode()
+            req = urllib.request.Request(
+                base + "/plan", data=payload,
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                assert json.loads(resp.read())["served"] == "computed"
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0
+            assert "draining" in out
+            assert "completed=1" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+
+class TestLoadgenCommand:
+    def test_loadgen_against_in_process_server(self, capsys, tmp_path):
+        import threading
+
+        from repro.service.httpd import make_server
+        from repro.service.planner import PlanService
+        from repro.service.store import PlanStore
+
+        service = PlanService(store=PlanStore(tmp_path / "plans"), workers=2)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            code = main(
+                [
+                    "loadgen", "--url", url, "--requests", "20",
+                    "--concurrency", "4", "--plans", "2",
+                ]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "cold:" in out and "warm:" in out
+            assert "reconcile" in out
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()

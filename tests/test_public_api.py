@@ -38,6 +38,7 @@ class TestSubpackages:
             "repro.sim",
             "repro.pipeline",
             "repro.experiments",
+            "repro.service",
             "repro.cli",
         ],
     )
@@ -54,6 +55,7 @@ class TestSubpackages:
             "repro.sim",
             "repro.pipeline",
             "repro.experiments",
+            "repro.service",
         ],
     )
     def test_subpackage_all_resolves(self, module):
