@@ -27,6 +27,14 @@ MatrixMarket file, exactly what the paper's host-side framework does
     hottiles serve [--port 8750] [--workers 2] [--queue-depth 16]
     hottiles loadgen [--requests 200] [--concurrency 8]
 
+*Tracing* -- profile one simulated execution end to end (docs/tracing.md)
+and emit a Chrome-trace/Perfetto JSON plus a text flamegraph summary::
+
+    hottiles trace pap --arch spade-sextans -o trace.json
+
+Experiment runs and the service take ``--trace FILE`` to record their
+whole lifetime into the same format.
+
 *Cache maintenance*::
 
     hottiles cache stats|clear [--cache-dir D]
@@ -39,8 +47,9 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -74,7 +83,7 @@ _SINGLE_MATRIX = {"fig05"}
 
 
 #: Non-experiment subcommands (the experiment ids live in EXPERIMENTS).
-SUBCOMMANDS = ("partition", "sweep", "serve", "loadgen", "cache")
+SUBCOMMANDS = ("partition", "sweep", "serve", "loadgen", "cache", "trace")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -94,6 +103,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _loadgen_command(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_command(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_command(argv[1:])
     return _experiment_command(argv)
 
 
@@ -117,6 +128,21 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the on-disk result cache (always re-simulate)",
     )
+
+
+@contextmanager
+def _maybe_tracing(path: Optional[str]) -> Iterator[None]:
+    """Install an enabled global tracer for the body; save on exit."""
+    if not path:
+        yield
+        return
+    from repro.obs import Tracer, save_chrome_trace, use_tracer
+
+    tracer = Tracer(enabled=True)
+    with use_tracer(tracer):
+        yield
+    saved = save_chrome_trace(tracer, path)
+    print(f"trace written to {saved} ({len(tracer)} records)")
 
 
 def _executor_from(args: argparse.Namespace):
@@ -147,6 +173,12 @@ def _experiment_command(argv: List[str]) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="IUnaware placement seed")
     parser.add_argument("--csv", default=None, help="also export the rows as CSV")
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a Chrome-trace JSON of the whole run (docs/tracing.md)",
+    )
     _add_executor_flags(parser)
     args = parser.parse_args(argv)
 
@@ -159,6 +191,7 @@ def _experiment_command(argv: List[str]) -> int:
         print("serve      run the HTTP partition-planning service")
         print("loadgen    closed-loop load generator against a running service")
         print("cache      experiment result cache maintenance (stats, clear)")
+        print("trace      profile one run into a Chrome-trace/Perfetto JSON")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -173,7 +206,7 @@ def _experiment_command(argv: List[str]) -> int:
         return 2
 
     executor = _executor_from(args)
-    with use_executor(executor):
+    with _maybe_tracing(args.trace), use_executor(executor):
         for name in names:
             fn = EXPERIMENTS[name]
             kwargs = {}
@@ -359,6 +392,81 @@ def _save_formats(result, out: Path) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+def _trace_command(argv: List[str]) -> int:
+    from repro.arch.configs import ARCHITECTURE_FACTORIES
+    from repro.experiments.matrices import ALL_MATRICES, load_matrix
+    from repro.obs import Tracer, flamegraph_summary, save_chrome_trace, use_tracer
+    from repro.pipeline.preprocess import HotTilesPreprocessor
+    from repro.sim.engine import simulate
+    from repro.sim.utilization import bandwidth_sparkline
+    from repro.sparse.mmio import read_matrix_market
+
+    parser = argparse.ArgumentParser(
+        prog="hottiles trace",
+        description="Trace one partition+simulate run into a Chrome-trace JSON "
+        "(open in Perfetto / chrome://tracing; see docs/tracing.md)",
+    )
+    parser.add_argument(
+        "matrix",
+        help="benchmark short name (e.g. pap) or path to a MatrixMarket file",
+    )
+    parser.add_argument(
+        "arch",
+        nargs="?",
+        default="spade-sextans",
+        choices=sorted(ARCHITECTURE_FACTORIES),
+        help="target architecture (default: spade-sextans)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=4, help="system scale (SPADE-Sextans variants)"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="trace.json",
+        help="Chrome-trace JSON output path (default: trace.json)",
+    )
+    parser.add_argument(
+        "--no-summary",
+        action="store_true",
+        help="skip the text flamegraph summary on stdout",
+    )
+    args = parser.parse_args(argv)
+
+    factory = ARCHITECTURE_FACTORIES[args.arch]
+    arch = factory() if args.arch == "piuma" else factory(args.scale)
+    matrix = (
+        load_matrix(args.matrix)
+        if args.matrix in ALL_MATRICES
+        else read_matrix_market(args.matrix)
+    )
+    print(f"matrix: {matrix}")
+    print(f"architecture: {arch}")
+
+    tracer = Tracer(enabled=True)
+    with use_tracer(tracer):
+        with tracer.span("pipeline.preprocess", cat="pipeline"):
+            preprocess = HotTilesPreprocessor(arch).run(matrix)
+        chosen = preprocess.partition.chosen
+        result = simulate(arch, preprocess.tiled, chosen.assignment, chosen.mode)
+    path = save_chrome_trace(tracer, args.output)
+
+    print(
+        f"\nsimulated '{chosen.label}' ({chosen.mode.value}): "
+        f"{result.time_s * 1e3:.3f} ms, "
+        f"{result.bytes_total / 1e6:.1f} MB moved, "
+        f"{result.bandwidth_utilization_bytes_per_sec / 1e9:.1f} GB/s avg"
+    )
+    print(f"bandwidth |{bandwidth_sparkline(result)}|")
+    if not args.no_summary:
+        print()
+        print(flamegraph_summary(tracer))
+    print(f"\ntrace written to {path} ({len(tracer)} records) -- "
+          f"open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+# ----------------------------------------------------------------------
 def _serve_command(argv: List[str]) -> int:
     from repro.service.httpd import make_server
     from repro.service.planner import PlanService
@@ -401,6 +509,13 @@ def _serve_command(argv: List[str]) -> int:
     parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record request/compute spans for the server's lifetime into "
+        "a Chrome-trace JSON, written on shutdown (docs/tracing.md)",
+    )
     args = parser.parse_args(argv)
 
     store = PlanStore(args.store_dir, max_bytes=args.store_max_bytes)
@@ -418,13 +533,14 @@ def _serve_command(argv: List[str]) -> int:
         f"store {store.store_dir})",
         flush=True,
     )
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("\ndraining in-flight plans...", flush=True)
-    finally:
-        server.server_close()
-        service.close(drain=True)
+    with _maybe_tracing(args.trace):
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\ndraining in-flight plans...", flush=True)
+        finally:
+            server.server_close()
+            service.close(drain=True)
     counters = service.metrics.snapshot()["counters"]
     print(
         "served: "

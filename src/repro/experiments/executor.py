@@ -36,6 +36,7 @@ from repro.experiments.cache import ResultCache, code_version, stable_digest
 from repro.experiments.matrices import load_matrix
 from repro.experiments.runner import MatrixRun, evaluate_matrix
 from repro.experiments.reporting import format_run_stats
+from repro.obs.tracer import get_tracer
 from repro.sparse.matrix import SparseMatrix
 
 __all__ = [
@@ -172,39 +173,52 @@ class ExperimentExecutor:
         (``jobs == 1``) or on a process pool.  Fresh results are written
         back to the cache before returning.
         """
+        tracer = get_tracer()
         start = time.perf_counter()
         results: List[Optional[MatrixRun]] = [None] * len(cells)
         pending: List[Tuple[int, Optional[str], Cell]] = []
-        for i, cell in enumerate(cells):
-            if self.cache is not None:
-                key = cell.key()
-                hit = self.cache.get(key)
-                if hit is not None:
-                    results[i] = hit
-                    self.stats.cache_hits += 1
-                    continue
-                pending.append((i, key, cell))
-            else:
-                pending.append((i, None, cell))
-        self.stats.cells += len(cells)
-        self.stats.cache_misses += len(pending)
+        with tracer.span("executor.run_cells", cat="experiments", cells=len(cells)):
+            for i, cell in enumerate(cells):
+                if self.cache is not None:
+                    key = cell.key()
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        results[i] = hit
+                        self.stats.cache_hits += 1
+                        tracer.event(
+                            "cache.hit", cat="experiments", index=i, key=key[:12]
+                        )
+                        continue
+                    tracer.event(
+                        "cache.miss", cat="experiments", index=i, key=key[:12]
+                    )
+                    pending.append((i, key, cell))
+                else:
+                    pending.append((i, None, cell))
+            self.stats.cells += len(cells)
+            self.stats.cache_misses += len(pending)
 
-        if self.jobs == 1 or len(pending) <= 1:
-            for i, key, cell in pending:
-                run, wall = _run_cell(cell)
-                self._record(results, i, key, run, wall)
-        else:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-                futures = {
-                    pool.submit(_run_cell, cell): (i, key) for i, key, cell in pending
-                }
-                outstanding = set(futures)
-                while outstanding:
-                    done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                    for fut in done:
-                        i, key = futures[fut]
-                        run, wall = fut.result()
-                        self._record(results, i, key, run, wall)
+            if self.jobs == 1 or len(pending) <= 1:
+                for i, key, cell in pending:
+                    run, wall = _run_cell(cell)
+                    self._record(results, i, key, run, wall)
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(pending))
+                ) as pool:
+                    futures = {
+                        pool.submit(_run_cell, cell): (i, key)
+                        for i, key, cell in pending
+                    }
+                    outstanding = set(futures)
+                    while outstanding:
+                        done, outstanding = wait(
+                            outstanding, return_when=FIRST_COMPLETED
+                        )
+                        for fut in done:
+                            i, key = futures[fut]
+                            run, wall = fut.result()
+                            self._record(results, i, key, run, wall)
 
         self.stats.elapsed_s += time.perf_counter() - start
         return results  # type: ignore[return-value]  # every slot is filled
@@ -219,6 +233,20 @@ class ExperimentExecutor:
     ) -> None:
         results[index] = run
         self.stats.cell_wall_s.append(wall)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Pool cells ran in a child process; backfill the cell as a
+            # completed span of its measured wall time ending now.
+            end = tracer.now()
+            tracer.complete(
+                "executor.cell",
+                ts=max(end - wall, 0.0),
+                dur=wall,
+                process="wall",
+                track="executor",
+                cat="experiments",
+                index=index,
+            )
         if self.cache is not None and key is not None:
             self.cache.put(key, run)
 

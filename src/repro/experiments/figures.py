@@ -35,7 +35,7 @@ from repro.experiments.runner import (
 )
 from repro.core.baselines import iunaware_assignment
 from repro.pipeline.preprocess import HotTilesPreprocessor
-from repro.sim.trace import UtilizationRow, utilization_row
+from repro.sim.utilization import UtilizationRow, utilization_row
 from repro.sparse.tiling import TiledMatrix
 
 __all__ = [

@@ -1,0 +1,37 @@
+"""Span-based tracing and profiling for the simulator and services.
+
+See :mod:`repro.obs.tracer` for the recording API,
+:mod:`repro.obs.export` for the Chrome-trace/Perfetto exporter, and
+:mod:`repro.obs.summary` for the text flamegraph report.  Documentation:
+``docs/tracing.md``.
+"""
+
+from repro.obs.export import chrome_trace, save_chrome_trace, span_tree
+from repro.obs.summary import flamegraph_summary
+from repro.obs.tracer import (
+    SIM,
+    WALL,
+    CounterRecord,
+    EventRecord,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "SpanRecord",
+    "EventRecord",
+    "CounterRecord",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "chrome_trace",
+    "save_chrome_trace",
+    "span_tree",
+    "flamegraph_summary",
+    "WALL",
+    "SIM",
+]

@@ -1,0 +1,194 @@
+"""Chrome-trace (Perfetto-loadable) JSON export of a tracer's records.
+
+Emits the Trace Event Format JSON object form::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms"}
+
+with ``X`` complete events for spans, ``i`` instant events, ``C`` counter
+events, and ``M`` metadata events naming processes and threads.  Tracer
+processes map to pids and tracks to tids, both assigned deterministically
+in first-appearance order, and events are sorted by ``(pid, tid, ts)`` so
+timestamps are monotonically nondecreasing within every track -- the
+invariant the property tests pin down.
+
+Timestamps are exported in microseconds (the format's unit); the tracer
+records seconds, wall tracks relative to tracer creation and simulated
+tracks in virtual seconds, so the two time bases live in separate
+processes rather than being stitched together.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.obs.tracer import CounterRecord, EventRecord, SpanRecord, Tracer
+
+__all__ = ["chrome_trace", "save_chrome_trace", "span_tree"]
+
+_SEC_TO_US = 1e6
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce record arguments into JSON-serializable scalars."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        try:
+            return _json_safe(item())
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+def _safe_args(args: Dict[str, Any]) -> Dict[str, Any]:
+    return {str(k): _json_safe(v) for k, v in args.items()}
+
+
+def chrome_trace(source: Union[Tracer, List[Any]]) -> Dict[str, Any]:
+    """Build the Chrome-trace dict from a tracer (or raw record list)."""
+    records = source.records() if isinstance(source, Tracer) else list(source)
+
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, str], int] = {}
+    next_tid: Dict[str, int] = {}
+
+    def pid_of(process: str) -> int:
+        if process not in pids:
+            pids[process] = len(pids) + 1
+            next_tid[process] = 0
+        return pids[process]
+
+    def tid_of(process: str, track: str) -> int:
+        key = (process, track)
+        if key not in tids:
+            pid_of(process)
+            tids[key] = next_tid[process]
+            next_tid[process] += 1
+        return tids[key]
+
+    body: List[Dict[str, Any]] = []
+    for rec in records:
+        pid = pid_of(rec.process)
+        tid = tid_of(rec.process, rec.track)
+        if isinstance(rec, SpanRecord):
+            body.append(
+                {
+                    "ph": "X",
+                    "name": rec.name,
+                    "cat": rec.cat or "span",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": rec.ts * _SEC_TO_US,
+                    "dur": rec.dur * _SEC_TO_US,
+                    "args": _safe_args(rec.args),
+                }
+            )
+        elif isinstance(rec, EventRecord):
+            body.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": rec.name,
+                    "cat": rec.cat or "event",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": rec.ts * _SEC_TO_US,
+                    "args": _safe_args(rec.args),
+                }
+            )
+        elif isinstance(rec, CounterRecord):
+            body.append(
+                {
+                    "ph": "C",
+                    "name": rec.name,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": rec.ts * _SEC_TO_US,
+                    "args": {"value": rec.value},
+                }
+            )
+    body.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+
+    meta: List[Dict[str, Any]] = []
+    for process, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        meta.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process},
+            }
+        )
+    for (process, track), tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        meta.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pids[process],
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    return {"traceEvents": meta + body, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(tracer: Union[Tracer, List[Any]], path: str) -> str:
+    """Write the Chrome-trace JSON atomically (temp file + rename)."""
+    payload = json.dumps(chrome_trace(tracer))
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+# ----------------------------------------------------------------------
+def span_tree(source: Union[Tracer, List[Any]]) -> Dict[str, Dict[str, List[Any]]]:
+    """The structural (timestamp-free) span forest, per process and track.
+
+    Returns ``{process: {track: [node, ...]}}`` where each node is
+    ``{"name": ..., "children": [...]}``.  Wall-clock spans close in
+    post-order (children before parents), so the forest is reconstructed
+    from the recorded nesting depth; explicit virtual-time spans are flat
+    and appear in record order.  This is what the golden-trace test
+    snapshots: names, nesting, and ordering survive re-runs, timestamps
+    do not.
+    """
+    records = source.records() if isinstance(source, Tracer) else list(source)
+    by_track: Dict[Tuple[str, str], List[SpanRecord]] = {}
+    for rec in records:
+        if isinstance(rec, SpanRecord):
+            by_track.setdefault((rec.process, rec.track), []).append(rec)
+
+    forest: Dict[str, Dict[str, List[Any]]] = {}
+    for (process, track), recs in sorted(by_track.items()):
+        stack: List[Tuple[int, Dict[str, Any]]] = []
+        for rec in recs:  # post-order: a span's children are already done
+            depth = len(rec.path)
+            children: List[Dict[str, Any]] = []
+            while stack and stack[-1][0] == depth + 1:
+                children.insert(0, stack.pop()[1])
+            stack.append((depth, {"name": rec.name, "children": children}))
+        roots = [node for _, node in stack]
+        forest.setdefault(process, {})[track] = roots
+    return forest

@@ -1,0 +1,86 @@
+"""Text flamegraph-style summary of a tracer's records.
+
+Aggregates spans by call path (per process), so repeated spans collapse
+into one line with call count, inclusive time, and self time -- the
+flamegraph view folded into text.  Counter tracks and instant events are
+summarized below the span tree.  This is the report the ``hottiles
+trace`` command prints next to the exported Chrome-trace JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.obs.tracer import CounterRecord, EventRecord, SpanRecord, Tracer
+
+__all__ = ["flamegraph_summary"]
+
+
+class _Node:
+    __slots__ = ("name", "count", "total_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.children: Dict[str, "_Node"] = {}
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.1f} us"
+
+
+def flamegraph_summary(
+    source: Union[Tracer, List[Any]], max_events: int = 12
+) -> str:
+    """Render the folded span/counter/event summary as plain text."""
+    records = source.records() if isinstance(source, Tracer) else list(source)
+
+    roots: Dict[str, _Node] = {}  # per process
+    counters: Dict[Tuple[str, str, str], List[float]] = {}
+    events: Dict[Tuple[str, str], int] = {}
+    for rec in records:
+        if isinstance(rec, SpanRecord):
+            node = roots.setdefault(rec.process, _Node(rec.process))
+            for name in rec.path:
+                node = node.children.setdefault(name, _Node(name))
+            node.count += 1
+            node.total_s += rec.dur
+        elif isinstance(rec, CounterRecord):
+            counters.setdefault((rec.process, rec.track, rec.name), []).append(rec.value)
+        elif isinstance(rec, EventRecord):
+            events[(rec.process, rec.name)] = events.get((rec.process, rec.name), 0) + 1
+
+    lines: List[str] = []
+    for process in sorted(roots):
+        lines.append(f"[{process}] spans (count, inclusive, self):")
+        _render(roots[process], lines, depth=0)
+    for (process, track, name), values in sorted(counters.items()):
+        lines.append(
+            f"[{process}] counter {track}/{name}: {len(values)} samples, "
+            f"min {min(values):.3g}, mean {sum(values) / len(values):.3g}, "
+            f"max {max(values):.3g}"
+        )
+    if events:
+        shown = sorted(events.items(), key=lambda kv: (-kv[1], kv[0]))[:max_events]
+        rendered = ", ".join(f"{name} x{n} [{proc}]" for (proc, name), n in shown)
+        dropped = len(events) - len(shown)
+        suffix = f" (+{dropped} more kinds)" if dropped else ""
+        lines.append(f"events: {rendered}{suffix}")
+    return "\n".join(lines) if lines else "(no records)"
+
+
+def _render(node: _Node, lines: List[str], depth: int) -> None:
+    children = sorted(node.children.values(), key=lambda n: -n.total_s)
+    for child in children:
+        child_total = sum(c.total_s for c in child.children.values())
+        self_s = max(child.total_s - child_total, 0.0)
+        lines.append(
+            f"  {'  ' * depth}{child.name:<{max(36 - 2 * depth, 8)}} "
+            f"x{child.count:<5d} {_fmt_s(child.total_s)}  {_fmt_s(self_s)}"
+        )
+        _render(child, lines, depth + 1)

@@ -22,6 +22,7 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs.tracer import get_tracer
 from repro.service.planner import (
     AdmissionRejected,
     PlanFailed,
@@ -40,8 +41,18 @@ class PlanRequestHandler(BaseHTTPRequestHandler):
     server: "PlanHTTPServer"
     protocol_version = "HTTP/1.1"
 
+    #: Status of the last reply, for span annotation.
+    _last_status: int = 0
+
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 -- stdlib naming
+        with get_tracer().span(
+            "http.request", cat="http", method="POST", path=self.path
+        ) as span:
+            self._handle_post()
+            span.set(status=self._last_status)
+
+    def _handle_post(self) -> None:
         if self.path.rstrip("/") != "/plan":
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
             return
@@ -73,6 +84,13 @@ class PlanRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, {"served": served, "plan": result.to_dict()})
 
     def do_GET(self) -> None:  # noqa: N802
+        with get_tracer().span(
+            "http.request", cat="http", method="GET", path=self.path
+        ) as span:
+            self._handle_get()
+            span.set(status=self._last_status)
+
+    def _handle_get(self) -> None:
         path = self.path.rstrip("/") or "/"
         service = self.server.service
         if path == "/healthz":
@@ -120,6 +138,7 @@ class PlanRequestHandler(BaseHTTPRequestHandler):
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))

@@ -39,6 +39,7 @@ import threading
 import time
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs.tracer import get_tracer
 from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import PlanRequest, PlanResult
 from repro.service.store import PlanStore
@@ -166,7 +167,35 @@ class PlanService:
         Raises :class:`ServiceClosed`, :class:`AdmissionRejected`,
         :class:`PlanTimeout`, :class:`PlanFailed`, or
         :class:`~repro.service.protocol.ProtocolError`.
+
+        Every call emits exactly one ``service.request`` span on the
+        global tracer, annotated with the request digest and its final
+        outcome (``store`` / ``computed`` / ``coalesced`` / ``rejected``
+        / ``timeout`` / ``failed`` / ``closed``) -- the invariant the
+        tracing concurrency test reconciles against the counters above.
         """
+        with get_tracer().span("service.request", cat="service") as req_span:
+            try:
+                result, served = self._plan_traced(request, timeout_s, req_span)
+            except AdmissionRejected:
+                req_span.set(outcome="rejected")
+                raise
+            except PlanTimeout:
+                req_span.set(outcome="timeout")
+                raise
+            except PlanFailed:
+                req_span.set(outcome="failed")
+                raise
+            except ServiceClosed:
+                req_span.set(outcome="closed")
+                raise
+            req_span.set(outcome=served)
+            return result, served
+
+    def _plan_traced(
+        self, request: PlanRequest, timeout_s: Optional[float], req_span: Any
+    ) -> Tuple[PlanResult, str]:
+        tracer = get_tracer()
         start = time.monotonic()
         if self._closed:
             raise ServiceClosed("service is shutting down")
@@ -177,8 +206,10 @@ class PlanService:
                 else self.default_timeout_s
             )
         digest = request.digest()
+        req_span.set(digest=digest[:12])
 
-        cached = self.store.get(digest)
+        with tracer.span("service.store_lookup", cat="service", digest=digest[:12]):
+            cached = self.store.get(digest)
         if cached is not None:
             self._accepted.inc()
             self._completed.inc()
@@ -204,7 +235,11 @@ class PlanService:
             self._coalesced.inc()
 
         served = "computed" if primary else "coalesced"
-        if not entry.event.wait(timeout_s):
+        with tracer.span(
+            "service.wait", cat="service", digest=digest[:12], served=served
+        ):
+            completed = entry.event.wait(timeout_s)
+        if not completed:
             with self._lock:
                 entry.waiters -= 1
                 if entry.waiters <= 0 and not entry.started:
@@ -246,6 +281,7 @@ class PlanService:
             item = self._queue.get()
             if item is _SENTINEL:
                 return
+            tracer = get_tracer()
             self._queue_gauge.set(self._queue.qsize())
             with self._lock:
                 if item.cancelled or self._discard:
@@ -253,13 +289,32 @@ class PlanService:
                     item.error = "cancelled before execution"
                     item.event.set()
                     self._cancelled.inc()
+                    tracer.event(
+                        "service.cancelled", cat="service", digest=item.digest[:12]
+                    )
                     continue
                 item.started = True
-            self._queue_wait.observe(time.monotonic() - item.enqueued_at)
+            picked_up = time.monotonic()
+            self._queue_wait.observe(picked_up - item.enqueued_at)
+            if tracer.enabled:
+                # The wait already happened; backfill it as a completed
+                # span ending now, on this worker's wall track.
+                tracer.complete(
+                    "service.queue_wait",
+                    ts=tracer.rel(item.enqueued_at),
+                    dur=picked_up - item.enqueued_at,
+                    process="wall",
+                    track=threading.current_thread().name,
+                    cat="service",
+                    digest=item.digest[:12],
+                )
             self._inflight_gauge.inc()
             start = time.monotonic()
             try:
-                item.result = self._compute(item.request, item.digest)
+                with tracer.span(
+                    "service.compute", cat="service", digest=item.digest[:12]
+                ):
+                    item.result = self._compute(item.request, item.digest)
             except Exception as exc:  # noqa: BLE001 -- surfaced to every waiter
                 item.error = f"{type(exc).__name__}: {exc}"
             finally:
@@ -275,13 +330,17 @@ class PlanService:
         """Resolve, preprocess, persist -- the whole Sec. VI-B pipeline."""
         from repro.pipeline.preprocess import HotTilesPreprocessor
 
+        tracer = get_tracer()
         start = time.monotonic()
-        matrix = request.resolve_matrix()
+        with tracer.span("service.resolve_matrix", cat="service"):
+            matrix = request.resolve_matrix()
         arch = request.build_architecture()
-        preprocess = HotTilesPreprocessor(
-            arch, cache_aware=request.cache_aware
-        ).run(matrix)
-        artifacts = tuple(self.store.save_artifacts(digest, preprocess))
+        with tracer.span("service.preprocess", cat="service"):
+            preprocess = HotTilesPreprocessor(
+                arch, cache_aware=request.cache_aware
+            ).run(matrix)
+        with tracer.span("service.save_artifacts", cat="service", digest=digest[:12]):
+            artifacts = tuple(self.store.save_artifacts(digest, preprocess))
         result = PlanResult.from_preprocess(
             request,
             digest,
@@ -293,7 +352,8 @@ class PlanService:
         # Publish to the store *before* waking waiters/deregistering so a
         # request that misses the in-flight map can only do so after the
         # store already holds the result.
-        self.store.put(result)
+        with tracer.span("service.store_publish", cat="service", digest=digest[:12]):
+            self.store.put(result)
         return result
 
     # ------------------------------------------------------------------

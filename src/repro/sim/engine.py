@@ -25,6 +25,7 @@ import numpy as np
 from repro.arch.heterogeneous import Architecture
 from repro.core.partition import ExecutionMode
 from repro.core.traits import WorkerKind
+from repro.obs.tracer import SIM, Tracer, get_tracer
 from repro.sim.memory import allocate_rates
 from repro.sim.worker_sim import InstancePlan, build_plans
 from repro.sparse.tiling import TiledMatrix
@@ -33,6 +34,18 @@ __all__ = ["GroupStats", "SimResult", "simulate", "simulate_homogeneous"]
 
 _EPS = 1e-18
 _CACHE_LINE_BYTES = 64
+
+#: Shared no-op tracer so the hot path stays branch-light when disabled.
+_DISABLED = Tracer(enabled=False)
+
+
+def _instance_labels(
+    hot_plans: List[InstancePlan], cold_plans: List[InstancePlan]
+) -> List[str]:
+    """Stable virtual-track names: one per worker instance, per group."""
+    return [f"hot-{i}" for i in range(len(hot_plans))] + [
+        f"cold-{i}" for i in range(len(cold_plans))
+    ]
 
 
 @dataclass(frozen=True)
@@ -93,34 +106,57 @@ def simulate(
     the groups run back to back with no merge.  ``untiled_block_rows``
     overrides the row-block scheduling granularity of untiled workers.
     """
-    hot_plans, cold_plans = build_plans(arch, tiled, assignment, untiled_block_rows)
-    if mode is ExecutionMode.PARALLEL:
-        makespan, completions, profile = _run_fluid(arch, hot_plans + cold_plans)
-        hot_stats = _group_stats(hot_plans, completions[: len(hot_plans)])
-        cold_stats = _group_stats(cold_plans, completions[len(hot_plans) :])
-        merge = 0.0
-        if hot_plans and cold_plans and not arch.atomic_updates:
-            merge = arch.merge_time_s(tiled.matrix.n_rows)
-            profile = profile + ((makespan + merge, arch.mem_bw_bytes_per_sec),)
-        return SimResult(
-            time_s=makespan + merge,
-            merge_time_s=merge,
-            mode=mode,
-            hot=hot_stats,
-            cold=cold_stats,
-            bandwidth_profile=profile,
+    tracer = get_tracer()
+    tracer = tracer if tracer.enabled else None
+    with (tracer if tracer is not None else _DISABLED).span(
+        "sim.simulate", cat="sim", mode=mode.value, tiles=int(tiled.n_tiles)
+    ):
+        hot_plans, cold_plans = build_plans(arch, tiled, assignment, untiled_block_rows)
+        if mode is ExecutionMode.PARALLEL:
+            makespan, completions, profile = _run_fluid(
+                arch,
+                hot_plans + cold_plans,
+                tracer=tracer,
+                labels=_instance_labels(hot_plans, cold_plans),
+            )
+            hot_stats = _group_stats(hot_plans, completions[: len(hot_plans)])
+            cold_stats = _group_stats(cold_plans, completions[len(hot_plans) :])
+            merge = 0.0
+            if hot_plans and cold_plans and not arch.atomic_updates:
+                merge = arch.merge_time_s(tiled.matrix.n_rows)
+                profile = profile + ((makespan + merge, arch.mem_bw_bytes_per_sec),)
+                if tracer is not None:
+                    tracer.complete(
+                        "merge", ts=makespan, dur=merge, process=SIM,
+                        track="merger", cat="sim", rows=int(tiled.matrix.n_rows),
+                    )
+            return SimResult(
+                time_s=makespan + merge,
+                merge_time_s=merge,
+                mode=mode,
+                hot=hot_stats,
+                cold=cold_stats,
+                bandwidth_profile=profile,
+            )
+        hot_span, hot_completions, hot_profile = _run_fluid(
+            arch, hot_plans, tracer=tracer, labels=_instance_labels(hot_plans, [])
         )
-    hot_span, hot_completions, hot_profile = _run_fluid(arch, hot_plans)
-    cold_span, cold_completions, cold_profile = _run_fluid(arch, cold_plans)
-    shifted = tuple((t + hot_span, bw) for t, bw in cold_profile)
-    return SimResult(
-        time_s=hot_span + cold_span,
-        merge_time_s=0.0,
-        mode=mode,
-        hot=_group_stats(hot_plans, hot_completions),
-        cold=_group_stats(cold_plans, cold_completions),
-        bandwidth_profile=hot_profile + shifted,
-    )
+        cold_span, cold_completions, cold_profile = _run_fluid(
+            arch,
+            cold_plans,
+            tracer=tracer,
+            labels=_instance_labels([], cold_plans),
+            t_offset=hot_span,
+        )
+        shifted = tuple((t + hot_span, bw) for t, bw in cold_profile)
+        return SimResult(
+            time_s=hot_span + cold_span,
+            merge_time_s=0.0,
+            mode=mode,
+            hot=_group_stats(hot_plans, hot_completions),
+            cold=_group_stats(cold_plans, cold_completions),
+            bandwidth_profile=hot_profile + shifted,
+        )
 
 
 def simulate_homogeneous(
@@ -143,13 +179,26 @@ def _group_stats(plans: List[InstancePlan], completions: np.ndarray) -> GroupSta
 
 
 def _run_fluid(
-    arch: Architecture, plans: List[InstancePlan]
+    arch: Architecture,
+    plans: List[InstancePlan],
+    tracer: Optional[Tracer] = None,
+    labels: Optional[List[str]] = None,
+    t_offset: float = 0.0,
 ) -> Tuple[float, np.ndarray, Tuple[Tuple[float, float], ...]]:
     """Advance all instances to completion.
 
     Returns ``(makespan, completions, bandwidth_profile)`` where the
     profile is a piecewise-constant series of (interval end, aggregate
-    bytes/s) pairs -- the "bandwidth over time" view of the run."""
+    bytes/s) pairs -- the "bandwidth over time" view of the run.
+
+    When ``tracer`` is an enabled :class:`~repro.obs.tracer.Tracer`, the
+    run is narrated onto virtual-time tracks (one per instance, named by
+    ``labels``, timestamps shifted by ``t_offset``): one span per chunk a
+    worker executes, one ``rebalance`` event per water-filling
+    reallocation, and a ``bandwidth`` counter track sampling the
+    aggregate grant.  Tracing observes the existing state only -- it
+    never feeds back into the arithmetic, which the differential tests
+    pin down bit for bit."""
     n = len(plans)
     completions = np.zeros(n, dtype=np.float64)
     if n == 0:
@@ -164,6 +213,31 @@ def _run_fluid(
     pcie_mask = None
     if arch.pcie_bw_bytes_per_sec is not None:
         pcie_mask = np.array([p.kind is WorkerKind.HOT for p in plans], dtype=bool)
+
+    if tracer is not None:
+        if labels is None:
+            labels = [f"instance-{i}" for i in range(n)]
+        # phase -> owning chunk index, per instance, for chunk-level spans.
+        chunk_of_phase = [
+            [ci for ci, c in enumerate(plan.chunks) for _ in c.phases]
+            for plan in plans
+        ]
+        chunk_start = np.full(n, t_offset, dtype=np.float64)
+
+    def _emit_chunk(i: int, ci: int, end: float) -> None:
+        chunk = plans[i].chunks[ci]
+        tracer.complete(
+            f"chunk{ci}",
+            ts=float(chunk_start[i]),
+            dur=end - float(chunk_start[i]),
+            process=SIM,
+            track=labels[i],
+            cat="sim",
+            panel=int(chunk.panel),
+            nnz=int(chunk.nnz),
+            bytes=float(chunk.bytes_total),
+        )
+        chunk_start[i] = end
 
     for i in range(n):
         if not _load_next_phase(phase_lists, phase_idx, c_rem, b_rem, i):
@@ -180,6 +254,21 @@ def _run_fluid(
             break
         caps = np.where(~done & (b_rem > _EPS), max_rates, 0.0)
         rates = allocate_rates(caps, bw, pcie_mask, arch.pcie_bw_bytes_per_sec)
+        if tracer is not None:
+            tracer.event(
+                "rebalance",
+                ts=t + t_offset,
+                process=SIM,
+                track="memory",
+                cat="sim",
+                active=int(np.count_nonzero(~done)),
+                demanding=int(np.count_nonzero(caps > 0)),
+                granted_bytes_per_s=float(rates.sum()),
+            )
+            tracer.counter(
+                "bandwidth", float(rates.sum()), ts=t + t_offset,
+                process=SIM, track="memory",
+            )
 
         with np.errstate(divide="ignore", invalid="ignore"):
             t_mem = np.where(rates > 0, b_rem / np.maximum(rates, _EPS), np.inf)
@@ -196,12 +285,25 @@ def _run_fluid(
 
         finished = active & (b_rem <= _EPS) & (c_rem <= _EPS)
         for i in np.flatnonzero(finished):
-            if _load_next_phase(phase_lists, phase_idx, c_rem, b_rem, int(i)):
+            i = int(i)
+            if tracer is not None:
+                prev_chunk = chunk_of_phase[i][int(phase_idx[i]) - 1]
+            if _load_next_phase(phase_lists, phase_idx, c_rem, b_rem, i):
+                if tracer is not None:
+                    next_chunk = chunk_of_phase[i][int(phase_idx[i]) - 1]
+                    if next_chunk != prev_chunk:
+                        _emit_chunk(i, prev_chunk, t + t_offset)
                 continue
             done[i] = True
             completions[i] = t
+            if tracer is not None:
+                _emit_chunk(i, prev_chunk, t + t_offset)
     else:
         raise RuntimeError("fluid engine exceeded its iteration budget")
+    if tracer is not None:
+        tracer.counter(
+            "bandwidth", 0.0, ts=t + t_offset, process=SIM, track="memory"
+        )
     return t, completions, tuple(profile)
 
 

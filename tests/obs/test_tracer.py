@@ -1,0 +1,253 @@
+"""Unit tests of the span tracer core."""
+
+import itertools
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    SIM,
+    Tracer,
+    chrome_trace,
+    flamegraph_summary,
+    get_tracer,
+    save_chrome_trace,
+    set_tracer,
+    span_tree,
+    use_tracer,
+)
+from repro.obs.tracer import CounterRecord, EventRecord, SpanRecord
+
+
+def fake_clock(step=1.0):
+    """A deterministic monotonic clock advancing ``step`` per call."""
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+class TestSpans:
+    def test_nested_spans_record_paths(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        spans = tr.spans()
+        assert [s.name for s in spans] == ["inner", "outer"]  # exit order
+        assert spans[0].path == ("outer", "inner")
+        assert spans[1].path == ("outer",)
+
+    def test_span_timestamps_use_injected_clock(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("a"):
+            pass
+        (span,) = tr.spans()
+        # epoch=0, enter=1, exit=2 with the unit-step clock
+        assert span.ts == pytest.approx(1.0)
+        assert span.dur == pytest.approx(1.0)
+
+    def test_span_args_and_set(self):
+        tr = Tracer()
+        with tr.span("a", color="red") as sp:
+            sp.set(outcome="done", color="blue")
+        (span,) = tr.spans()
+        assert span.args == {"color": "blue", "outcome": "done"}
+
+    def test_span_recorded_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("broken"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tr.spans()] == ["broken"]
+        # The nesting stack is unwound: a new span is a root again.
+        with tr.span("after"):
+            pass
+        assert tr.spans()[-1].path == ("after",)
+
+    def test_complete_records_virtual_time(self):
+        tr = Tracer()
+        tr.complete("chunk0", ts=1.5, dur=0.5, process=SIM, track="hot-0", nnz=7)
+        (span,) = tr.spans()
+        assert (span.ts, span.dur, span.process, span.track) == (1.5, 0.5, SIM, "hot-0")
+        assert span.args == {"nnz": 7}
+        assert span.end == pytest.approx(2.0)
+
+    def test_events_and_counters(self):
+        tr = Tracer(clock=fake_clock())
+        tr.event("hit", key="abc")
+        tr.counter("bandwidth", 42.0, ts=0.25)
+        events, counters = tr.events(), tr.counters()
+        assert events[0].name == "hit" and events[0].args == {"key": "abc"}
+        assert counters[0].value == 42.0 and counters[0].ts == 0.25
+
+    def test_clear_and_len(self):
+        tr = Tracer()
+        tr.event("x")
+        assert len(tr) == 1
+        tr.clear()
+        assert len(tr) == 0
+
+    def test_empty_tracer_is_truthy(self):
+        # ``__len__`` alone would make an empty tracer falsy, silently
+        # breaking ``tracer or fallback`` guards in instrumented code.
+        assert bool(Tracer())
+        assert bool(Tracer(enabled=False))
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        tr = Tracer(enabled=False)
+        with tr.span("a", k=1) as sp:
+            sp.set(more=2)
+            tr.event("e")
+            tr.counter("c", 1.0)
+            tr.complete("x", ts=0.0, dur=1.0)
+        assert len(tr) == 0
+
+    def test_disabled_span_is_shared_singleton(self):
+        tr = Tracer(enabled=False)
+        assert tr.span("a") is tr.span("b")
+
+    def test_global_tracer_disabled_by_default(self):
+        assert get_tracer().enabled is False
+
+    def test_use_tracer_restores_previous(self):
+        original = get_tracer()
+        scoped = Tracer()
+        with use_tracer(scoped) as active:
+            assert active is scoped
+            assert get_tracer() is scoped
+        assert get_tracer() is original
+
+    def test_set_tracer_returns_previous(self):
+        original = get_tracer()
+        mine = Tracer(enabled=False)
+        previous = set_tracer(mine)
+        try:
+            assert previous is original
+            assert get_tracer() is mine
+        finally:
+            set_tracer(original)
+
+
+class TestThreading:
+    def test_threads_get_independent_stacks_and_tracks(self):
+        tr = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(label):
+            with tr.span(label):
+                barrier.wait(timeout=10)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",), name=f"worker-{i}")
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tr.spans()
+        assert {s.track for s in spans} == {"worker-0", "worker-1"}
+        # Each span is a root on its own thread: never nested cross-thread.
+        assert all(len(s.path) == 1 for s in spans)
+
+
+class TestExport:
+    def build(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("outer", cat="test"):
+            with tr.span("inner"):
+                pass
+        tr.complete("chunk0", ts=0.0, dur=1e-3, process=SIM, track="hot-0")
+        tr.event("rebalance", ts=0.5, process=SIM, track="memory", active=2)
+        tr.counter("bandwidth", 1e9, ts=0.5, process=SIM, track="memory")
+        return tr
+
+    def test_chrome_trace_shape(self):
+        trace = chrome_trace(self.build())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert phases == {"M", "X", "i", "C"}
+        # Metadata names every process and track.
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"wall", "sim", "hot-0", "memory"} <= names
+
+    def test_timestamps_exported_in_microseconds(self):
+        trace = chrome_trace(self.build())
+        chunk = next(
+            e for e in trace["traceEvents"] if e.get("name") == "chunk0"
+        )
+        assert chunk["dur"] == pytest.approx(1e-3 * 1e6)
+
+    def test_json_roundtrip(self):
+        trace = chrome_trace(self.build())
+        assert json.loads(json.dumps(trace)) == trace
+
+    def test_numpy_args_coerced(self):
+        import numpy as np
+
+        tr = Tracer()
+        tr.event("e", value=np.float64(1.5), count=np.int64(3), arr=(np.int32(1),))
+        trace = chrome_trace(tr)
+        event = next(e for e in trace["traceEvents"] if e.get("name") == "e")
+        assert event["args"] == {"value": 1.5, "count": 3, "arr": [1]}
+        json.dumps(trace)
+
+    def test_save_chrome_trace_atomic(self, tmp_path):
+        path = tmp_path / "sub" / "trace.json"
+        saved = save_chrome_trace(self.build(), str(path))
+        assert saved == str(path)
+        data = json.loads(path.read_text())
+        assert data["traceEvents"]
+        assert not list(path.parent.glob("*.tmp"))
+
+    def test_span_tree_structure(self):
+        tree = span_tree(self.build())
+        wall_tracks = tree["wall"]
+        (roots,) = wall_tracks.values()
+        assert roots == [
+            {"name": "outer", "children": [{"name": "inner", "children": []}]}
+        ]
+        assert tree["sim"]["hot-0"] == [{"name": "chunk0", "children": []}]
+
+    def test_span_tree_sibling_order_preserved(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("first"):
+                pass
+            with tr.span("second"):
+                pass
+        tree = span_tree(tr)
+        (roots,) = tree["wall"].values()
+        assert [c["name"] for c in roots[0]["children"]] == ["first", "second"]
+
+
+class TestSummary:
+    def test_summary_mentions_spans_counters_events(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        tr.counter("bandwidth", 2.0, ts=0.0)
+        tr.counter("bandwidth", 4.0, ts=1.0)
+        tr.event("hit")
+        text = flamegraph_summary(tr)
+        assert "outer" in text and "inner" in text
+        assert "bandwidth" in text and "2 samples" in text
+        assert "hit x1" in text
+
+    def test_summary_empty(self):
+        assert flamegraph_summary(Tracer()) == "(no records)"
+
+    def test_record_types_are_frozen(self):
+        span = SpanRecord("a", "wall", "t", 0.0, 1.0, ("a",))
+        with pytest.raises(AttributeError):
+            span.name = "b"
+        event = EventRecord("e", "wall", "t", 0.0)
+        with pytest.raises(AttributeError):
+            event.ts = 1.0
+        counter = CounterRecord("c", "sim", "m", 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            counter.value = 2.0

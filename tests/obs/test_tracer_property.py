@@ -1,0 +1,142 @@
+"""Property-based tests of the tracer and its Chrome-trace exporter.
+
+Three pinned invariants (ISSUE satellite):
+
+1. spans on one thread nest properly -- a recorded span's interval is
+   either disjoint from or fully contained in every ancestor's, and the
+   recorded paths are consistent with containment;
+2. exporter output survives ``json.dumps``/``json.loads`` and timestamps
+   are monotonically nondecreasing within every (pid, tid) track;
+3. tracing-enabled and tracing-disabled simulations produce identical
+   ``SimResult``s.
+"""
+
+import itertools
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Tracer, chrome_trace, use_tracer
+from repro.obs.tracer import SIM
+
+
+# ----------------------------------------------------------------------
+# Random span forests executed through the context-manager API
+# ----------------------------------------------------------------------
+span_forests = st.recursive(
+    st.just([]),
+    lambda children: st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c", "d"]), children), max_size=4
+    ),
+    max_leaves=20,
+)
+
+
+def _run_forest(tracer, forest):
+    for name, children in forest:
+        with tracer.span(name):
+            _run_forest(tracer, children)
+
+
+def _count(forest):
+    return sum(1 + _count(children) for _, children in forest)
+
+
+@given(forest=span_forests)
+@settings(max_examples=80, deadline=None)
+def test_spans_nest_and_never_overlap_on_one_thread(forest):
+    counter = itertools.count()
+    tracer = Tracer(clock=lambda: float(next(counter)))
+    _run_forest(tracer, forest)
+    spans = tracer.spans()
+    assert len(spans) == _count(forest)
+    for i, a in enumerate(spans):
+        assert a.dur >= 0
+        for b in spans[i + 1 :]:
+            # Single-thread stack discipline: any two spans are either
+            # disjoint in time or one contains the other -- never a
+            # partial overlap.
+            disjoint = a.end <= b.ts or b.end <= a.ts
+            a_in_b = b.ts <= a.ts and a.end <= b.end
+            b_in_a = a.ts <= b.ts and b.end <= a.end
+            assert disjoint or a_in_b or b_in_a
+    # Every non-root span's parent is the first later-closing span whose
+    # path is the child's path minus the leaf (spans close in post-order,
+    # so that span is the actual enclosing one) and it must contain the
+    # child's interval.
+    for i, child in enumerate(spans):
+        if len(child.path) == 1:
+            continue
+        parent = next(
+            s for s in spans[i + 1 :] if s.path == child.path[:-1]
+        )
+        assert parent.ts <= child.ts
+        assert child.end <= parent.end
+
+
+@given(forest=span_forests, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_exporter_json_and_monotone_ts_per_track(forest, data):
+    counter = itertools.count()
+    tracer = Tracer(clock=lambda: float(next(counter)))
+    _run_forest(tracer, forest)
+    # Sprinkle virtual-time records across a couple of sim tracks.
+    n_extra = data.draw(st.integers(min_value=0, max_value=8))
+    for i in range(n_extra):
+        ts = data.draw(
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+        )
+        track = data.draw(st.sampled_from(["hot-0", "memory"]))
+        if data.draw(st.booleans()):
+            tracer.complete(f"chunk{i}", ts=ts, dur=0.5, process=SIM, track=track)
+        else:
+            tracer.counter("bandwidth", float(i), ts=ts, process=SIM, track=track)
+
+    trace = chrome_trace(tracer)
+    decoded = json.loads(json.dumps(trace))
+    assert decoded == trace
+    assert isinstance(decoded["traceEvents"], list)
+
+    last = {}
+    for event in decoded["traceEvents"]:
+        if event["ph"] == "M":
+            continue
+        key = (event["pid"], event["tid"])
+        assert event["ts"] >= last.get(key, float("-inf"))
+        last[key] = event["ts"]
+
+
+# ----------------------------------------------------------------------
+# Tracing must not perturb the simulation
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    serial=st.booleans(),
+)
+@settings(max_examples=8, deadline=None)
+def test_enabled_vs_disabled_simresults_identical(seed, serial):
+    from repro.core.partition import ExecutionMode
+    from repro.sim.engine import simulate
+    from repro.sparse import generators
+    from repro.sparse.tiling import TiledMatrix
+    from tests.core.test_partition import tiny_arch
+
+    matrix = generators.uniform_random(32, 32, 120, seed=seed)
+    arch = tiny_arch()
+    tiled = TiledMatrix(matrix, arch.tile_height, arch.tile_width)
+    rng = np.random.default_rng(seed)
+    assignment = rng.random(tiled.n_tiles) < 0.5
+    mode = ExecutionMode.SERIAL if serial else ExecutionMode.PARALLEL
+
+    plain = simulate(arch, tiled, assignment, mode)
+    with use_tracer(Tracer(enabled=True)) as tracer:
+        traced = simulate(arch, tiled, assignment, mode)
+    assert len(tracer) > 0  # tracing actually happened
+
+    assert traced.time_s == plain.time_s
+    assert traced.merge_time_s == plain.merge_time_s
+    assert traced.hot == plain.hot
+    assert traced.cold == plain.cold
+    assert traced.bandwidth_profile == plain.bandwidth_profile

@@ -1,0 +1,118 @@
+"""Tracing under service concurrency.
+
+Drives the live HTTP service with the closed-loop load generator while a
+global tracer is installed, then reconciles the recorded spans against
+the server's own counters: every accepted request produced exactly one
+complete ``service.request`` span, and every plan computation produced
+exactly one ``service.queue_wait`` span (the time the job sat in the
+queue before a worker picked it up).
+"""
+
+import threading
+from collections import Counter
+
+import pytest
+
+from repro.obs import Tracer, use_tracer
+from repro.service.httpd import make_server
+from repro.service.loadgen import default_request_payloads, fetch_stats, run_pass
+from repro.service.planner import PlanService
+from repro.service.store import PlanStore
+
+SERVED_OUTCOMES = {"store", "computed", "coalesced"}
+SETTLED_OUTCOMES = SERVED_OUTCOMES | {"failed", "timeout"}
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    service = PlanService(store=PlanStore(tmp_path / "plans"), workers=2, queue_depth=8)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}", service
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def test_request_spans_reconcile_with_counters(live_server):
+    base, _service = live_server
+    with use_tracer(Tracer(enabled=True)) as tracer:
+        result = run_pass(
+            base, default_request_payloads(3), requests=20, concurrency=4
+        )
+        stats = fetch_stats(base)
+    assert result.completed == 20 and result.failed == 0
+
+    counters = stats["counters"]
+    spans = tracer.spans()
+    request_spans = [s for s in spans if s.name == "service.request"]
+    outcomes = Counter(s.args.get("outcome") for s in request_spans)
+
+    # Exactly one complete request span per accepted request...
+    settled = sum(n for o, n in outcomes.items() if o in SETTLED_OUTCOMES)
+    assert settled == counters["requests_accepted"]
+    # ...and the outcome split matches the counter split.
+    served = sum(n for o, n in outcomes.items() if o in SERVED_OUTCOMES)
+    assert served == counters["requests_completed"] == 20
+    assert outcomes.get("failed", 0) == counters["requests_failed"] == 0
+    assert outcomes.get("timeout", 0) == counters["requests_timeout"] == 0
+    assert outcomes.get("rejected", 0) == counters["requests_rejected"]
+    # Every span closed with an outcome: nothing leaked half-open.
+    assert None not in outcomes
+
+    # Served spans carry the plan digest annotation.
+    for span in request_spans:
+        if span.args.get("outcome") in SERVED_OUTCOMES:
+            assert len(span.args.get("digest", "")) == 12
+
+
+def test_queue_wait_spans_match_plans_computed(live_server):
+    base, _service = live_server
+    with use_tracer(Tracer(enabled=True)) as tracer:
+        run_pass(base, default_request_payloads(3), requests=12, concurrency=3)
+        stats = fetch_stats(base)
+
+    counters = stats["counters"]
+    waits = [s for s in tracer.spans() if s.name == "service.queue_wait"]
+    computes = [s for s in tracer.spans() if s.name == "service.compute"]
+    assert len(waits) == counters["plans_computed"]
+    assert len(computes) == counters["plans_computed"]
+    # A wait span ends where the worker picked the job up, so it must not
+    # extend past its compute span's start on the same worker thread.
+    compute_start = {}
+    for span in computes:
+        compute_start.setdefault((span.track, span.args.get("digest")), span.ts)
+    for span in waits:
+        key = (span.track, span.args.get("digest"))
+        if key in compute_start:
+            assert span.end <= compute_start[key] + 1e-6
+    # Wait durations reconcile with the queue_wait_s histogram count.
+    assert stats["histograms"]["queue_wait_s"]["count"] == len(waits)
+
+
+def test_http_spans_cover_all_requests(live_server):
+    base, _service = live_server
+    with use_tracer(Tracer(enabled=True)) as tracer:
+        result = run_pass(
+            base, default_request_payloads(2), requests=8, concurrency=2
+        )
+        fetch_stats(base)
+
+    http_spans = [s for s in tracer.spans() if s.name == "http.request"]
+    posts = [s for s in http_spans if s.args.get("method") == "POST"]
+    gets = [s for s in http_spans if s.args.get("method") == "GET"]
+    # One POST span per completed request plus one per backpressure retry.
+    assert len(posts) == result.completed + result.retries_429
+    assert gets  # the /stats read
+    assert all(s.args.get("status", 0) in (200, 429) for s in posts)
+
+
+def test_disabled_tracer_records_nothing_under_load(live_server):
+    base, _service = live_server
+    with use_tracer(Tracer(enabled=False)) as tracer:
+        result = run_pass(
+            base, default_request_payloads(2), requests=6, concurrency=2
+        )
+    assert result.completed == 6
+    assert len(tracer) == 0

@@ -1,10 +1,22 @@
-"""Utilization aggregation tests."""
+"""Utilization aggregation tests (:mod:`repro.sim.utilization`).
 
+This file was ``test_trace.py`` before the span tracer (:mod:`repro.obs`)
+claimed the "trace" name; the helpers moved to ``repro.sim.utilization``
+and ``repro.sim.trace`` became a compatibility alias (tested at the
+bottom).
+"""
+
+import numpy as np
 import pytest
 
+from repro.core.partition import ExecutionMode
 from repro.core.traits import WorkerKind
-from repro.sim.engine import simulate_homogeneous
-from repro.sim.trace import geomean, utilization_row
+from repro.sim.engine import GroupStats, SimResult, simulate, simulate_homogeneous
+from repro.sim.utilization import (
+    bandwidth_sparkline,
+    geomean,
+    utilization_row,
+)
 from tests.core.test_partition import mixed_tiled, tiny_arch
 
 
@@ -61,10 +73,24 @@ class TestUtilizationRow:
         assert row.cold_gflops == pytest.approx(result.cold.busy_gflops)
 
 
+def _result(profile, time_s=1.0, busy=True):
+    stats = (
+        GroupStats(instances=1, nnz=10, flops=1.0, bytes=5.0, busy_s=1.0)
+        if busy
+        else GroupStats(instances=0, nnz=0, flops=0.0, bytes=0.0, busy_s=0.0)
+    )
+    return SimResult(
+        time_s=time_s,
+        merge_time_s=0.0,
+        mode=ExecutionMode.PARALLEL,
+        hot=stats,
+        cold=stats,
+        bandwidth_profile=profile,
+    )
+
+
 class TestBandwidthProfile:
     def test_profile_recorded_and_consistent(self):
-        from repro.sim.trace import bandwidth_sparkline
-
         tiled = mixed_tiled()
         result = simulate_homogeneous(tiny_arch(), tiled, WorkerKind.COLD)
         profile = result.bandwidth_profile
@@ -82,8 +108,6 @@ class TestBandwidthProfile:
         assert total == pytest.approx(result.bytes_total, rel=1e-6)
 
     def test_sparkline_shape(self):
-        from repro.sim.trace import bandwidth_sparkline
-
         tiled = mixed_tiled()
         result = simulate_homogeneous(tiny_arch(), tiled, WorkerKind.COLD)
         line = bandwidth_sparkline(result, buckets=30)
@@ -91,73 +115,53 @@ class TestBandwidthProfile:
         assert any(c != " " for c in line)
 
     def test_sparkline_validates_buckets(self):
-        from repro.sim.trace import bandwidth_sparkline
-
         tiled = mixed_tiled()
         result = simulate_homogeneous(tiny_arch(), tiled, WorkerKind.COLD)
         with pytest.raises(ValueError, match="buckets"):
             bandwidth_sparkline(result, buckets=0)
 
     def test_sparkline_empty_profile_is_blank(self):
-        from repro.core.partition import ExecutionMode
-        from repro.sim.engine import GroupStats, SimResult
-        from repro.sim.trace import bandwidth_sparkline
-
-        idle = GroupStats(instances=0, nnz=0, flops=0.0, bytes=0.0, busy_s=0.0)
-        result = SimResult(
-            time_s=0.0,
-            merge_time_s=0.0,
-            mode=ExecutionMode.PARALLEL,
-            hot=idle,
-            cold=idle,
-            bandwidth_profile=(),
-        )
-        line = bandwidth_sparkline(result, buckets=12)
+        line = bandwidth_sparkline(_result((), time_s=0.0, busy=False), buckets=12)
         assert line == " " * 12
 
     def test_sparkline_zero_peak_is_blank(self):
-        from repro.core.partition import ExecutionMode
-        from repro.sim.engine import GroupStats, SimResult
-        from repro.sim.trace import bandwidth_sparkline
-
-        idle = GroupStats(instances=1, nnz=0, flops=0.0, bytes=0.0, busy_s=1.0)
-        result = SimResult(
-            time_s=1.0,
-            merge_time_s=0.0,
-            mode=ExecutionMode.PARALLEL,
-            hot=idle,
-            cold=idle,
-            bandwidth_profile=((1.0, 0.0),),
-        )
+        result = _result(((1.0, 0.0),))
         assert bandwidth_sparkline(result, buckets=8) == " " * 8
 
     def test_sparkline_single_interval_is_flat_peak(self):
-        from repro.core.partition import ExecutionMode
-        from repro.sim.engine import GroupStats, SimResult
-        from repro.sim.trace import bandwidth_sparkline
-
-        busy = GroupStats(instances=1, nnz=10, flops=1.0, bytes=5.0, busy_s=1.0)
-        result = SimResult(
-            time_s=1.0,
-            merge_time_s=0.0,
-            mode=ExecutionMode.PARALLEL,
-            hot=busy,
-            cold=busy,
-            bandwidth_profile=((1.0, 5.0),),
-        )
+        result = _result(((1.0, 5.0),))
         line = bandwidth_sparkline(result, buckets=10)
         # One constant-rate interval at the peak: every bucket renders the
         # top glyph.
         assert line == "@" * 10
 
-    def test_serial_profile_spans_both_phases(self):
-        import numpy as np
-        from repro.core.partition import ExecutionMode
-        from repro.sim.engine import simulate
+    def test_sparkline_collapsed_profile_renders_last_rate(self):
+        # Regression: a profile whose every interval ends at t=0 (an
+        # instantaneous run with a nonzero reported makespan) used to
+        # render blank because the zero-width overlaps carried no weight.
+        # It now renders the final recorded rate flat across the line.
+        result = _result(((0.0, 5.0),))
+        assert bandwidth_sparkline(result, buckets=10) == "@" * 10
 
+    def test_sparkline_collapsed_profile_ending_idle_is_blank(self):
+        result = _result(((0.0, 5.0), (0.0, 0.0)))
+        assert bandwidth_sparkline(result, buckets=10) == " " * 10
+
+    def test_serial_profile_spans_both_phases(self):
         tiled = mixed_tiled()
         arch = tiny_arch()
         assignment = tiled.stats.nnz > np.median(tiled.stats.nnz)
         result = simulate(arch, tiled, assignment, ExecutionMode.SERIAL)
         ends = [t for t, _ in result.bandwidth_profile]
         assert ends[-1] == pytest.approx(result.time_s)
+
+
+class TestTraceModuleAlias:
+    def test_trace_reexports_same_objects(self):
+        # ``repro.sim.trace`` must keep working for existing imports.
+        from repro.sim import trace, utilization
+
+        assert trace.bandwidth_sparkline is utilization.bandwidth_sparkline
+        assert trace.geomean is utilization.geomean
+        assert trace.utilization_row is utilization.utilization_row
+        assert trace.UtilizationRow is utilization.UtilizationRow

@@ -277,3 +277,41 @@ class TestLoadgenCommand:
             server.shutdown()
             server.server_close()
             service.close()
+
+
+class TestTraceCommand:
+    def test_trace_writes_chrome_json_and_summary(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "pap", "-o", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "bandwidth |" in out
+        assert "sim.simulate" in out  # flamegraph summary mentions the root span
+        trace = json.loads(out_path.read_text())
+        events = trace["traceEvents"]
+        assert {"M", "X", "i", "C"} <= {e["ph"] for e in events}
+        names = {e.get("name") for e in events}
+        assert {"sim.simulate", "pipeline.preprocess", "rebalance"} <= names
+
+    def test_trace_no_summary(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "pap", "--no-summary", "-o", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[sim] spans" not in out
+        assert out_path.exists()
+
+    def test_trace_listed_as_subcommand(self, capsys):
+        assert main(["list"]) == 0
+        assert "trace" in capsys.readouterr().out
+
+    def test_experiment_trace_flag_writes_file(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "fig.json"
+        assert main(["fig04", "--subset", "pap", "--trace", str(out_path)]) == 0
+        assert "trace written to" in capsys.readouterr().out
+        trace = json.loads(out_path.read_text())
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "executor.run_cells" in names

@@ -1,0 +1,77 @@
+"""Golden-trace regression test.
+
+A fixed matrix and architecture produce a deterministic span forest --
+same names, same nesting, same per-track ordering on every run and every
+platform (the fluid engine and the schedulers are deterministic; only
+timestamps vary, and the structural snapshot strips them).  Any change to
+the instrumentation's shape shows up as a diff against
+``tests/golden/trace_tiny.json``; regenerate it with::
+
+    PYTHONPATH=src python tests/test_golden_trace.py
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.partition import ExecutionMode
+from repro.obs import Tracer, span_tree, use_tracer
+from repro.sim.engine import simulate
+
+GOLDEN = Path(__file__).parent / "golden" / "trace_tiny.json"
+
+
+def _traced_forest():
+    """The canonical tiny traced run, structurally normalized."""
+    from tests.core.test_partition import mixed_tiled, tiny_arch
+
+    arch = tiny_arch()
+    tiled = mixed_tiled()
+    assignment = tiled.stats.nnz > np.median(tiled.stats.nnz)
+    with use_tracer(Tracer(enabled=True)) as tracer:
+        simulate(arch, tiled, assignment, ExecutionMode.PARALLEL)
+    return _normalize(span_tree(tracer))
+
+
+def _normalize(forest):
+    """Wall tracks are thread names (runner-dependent): rename them
+    positionally; sim tracks are already stable (hot-0, cold-1, ...)."""
+    out = {}
+    for process, tracks in sorted(forest.items()):
+        if process == "wall":
+            out[process] = {
+                f"wall-{i}": tree
+                for i, (_, tree) in enumerate(sorted(tracks.items()))
+            }
+        else:
+            out[process] = {track: tree for track, tree in sorted(tracks.items())}
+    return out
+
+
+def test_golden_trace_structure_matches():
+    assert GOLDEN.exists(), f"golden snapshot missing: {GOLDEN}"
+    expected = json.loads(GOLDEN.read_text())
+    actual = _traced_forest()
+    assert actual == expected, (
+        "traced span structure diverged from tests/golden/trace_tiny.json; "
+        "if the instrumentation change is intentional, regenerate with "
+        "'PYTHONPATH=src python tests/test_golden_trace.py'"
+    )
+
+
+def test_golden_trace_has_expected_shape():
+    """Sanity on the snapshot itself, independent of a live run."""
+    expected = json.loads(GOLDEN.read_text())
+    assert "sim" in expected and "wall" in expected
+    sim_tracks = expected["sim"]
+    assert any(t.startswith("hot-") for t in sim_tracks)
+    assert any(t.startswith("cold-") for t in sim_tracks)
+    (wall_roots,) = expected["wall"].values()
+    assert [r["name"] for r in wall_roots] == ["sim.simulate"]
+
+
+if __name__ == "__main__":  # regeneration entry point
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(json.dumps(_traced_forest(), indent=1, sort_keys=True) + "\n")
+    print(f"regenerated {GOLDEN}")
