@@ -35,6 +35,13 @@ and emit a Chrome-trace/Perfetto JSON plus a text flamegraph summary::
 Experiment runs and the service take ``--trace FILE`` to record their
 whole lifetime into the same format.
 
+*Perf benchmarks* -- time the simulator hot path (preprocess /
+build_plans / simulate) against the frozen pre-optimization reference
+and gate against a committed baseline (docs/performance.md)::
+
+    hottiles bench [--quick] [-o BENCH_PERF.json] \\
+        [--baseline benchmarks/BENCH_PERF_BASELINE.json] [--tolerance 0.25]
+
 *Cache maintenance*::
 
     hottiles cache stats|clear [--cache-dir D]
@@ -83,7 +90,7 @@ _SINGLE_MATRIX = {"fig05"}
 
 
 #: Non-experiment subcommands (the experiment ids live in EXPERIMENTS).
-SUBCOMMANDS = ("partition", "sweep", "serve", "loadgen", "cache", "trace")
+SUBCOMMANDS = ("partition", "sweep", "serve", "loadgen", "cache", "trace", "bench")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -105,6 +112,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_command(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_command(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_command(argv[1:])
     return _experiment_command(argv)
 
 
@@ -628,6 +637,75 @@ def _cache_command(argv: List[str]) -> int:
         f"lifetime:    {stats['lifetime_hits']} hits, "
         f"{stats['lifetime_misses']} misses ({rate:.0%} hit rate)"
     )
+    return 0
+
+
+def _bench_command(argv: List[str]) -> int:
+    from repro.experiments import perfbench
+
+    parser = argparse.ArgumentParser(
+        prog="hottiles bench",
+        description=(
+            "Hot-path perf microbenchmarks (docs/performance.md): time "
+            "preprocess / build_plans / simulate per synthetic matrix and "
+            "emit a BENCH_PERF.json report"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="only the small CI cases (the committed baseline's set)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=5,
+        metavar="N",
+        help="best-of-N repetitions per stage (default 5)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_PERF.json",
+        metavar="FILE",
+        help="report path (default BENCH_PERF.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="compare against this committed report; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=perfbench.DEFAULT_TOLERANCE,
+        metavar="F",
+        help=(
+            "relative slack on gated ratios before a stage counts as a "
+            f"regression (default {perfbench.DEFAULT_TOLERANCE})"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    report = perfbench.run_bench(quick=args.quick, repeat=args.repeat)
+    print(perfbench.format_report(report))
+    perfbench.write_report(report, args.output)
+    print(f"wrote {args.output}")
+
+    if args.baseline is None:
+        return 0
+    try:
+        baseline = perfbench.load_report(args.baseline)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"--baseline: {exc}")
+    failures = perfbench.compare(report, baseline, tolerance=args.tolerance)
+    if failures:
+        print(f"PERF REGRESSION vs {args.baseline}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"no regression vs {args.baseline} (tolerance {args.tolerance:.0%})")
     return 0
 
 

@@ -306,28 +306,112 @@ def exhaustive_partition(
     n = tiled.n_tiles
     if n > max_tiles:
         raise ValueError(f"exhaustive search limited to {max_tiles} tiles, got {n}")
+    arch = partitioner.arch
     modes = [ExecutionMode.PARALLEL]
-    if not partitioner.arch.atomic_updates:
+    if not arch.atomic_updates:
         modes.append(ExecutionMode.SERIAL)
-    best: Optional[PartitionResult] = None
-    for bits in range(1 << n):
-        assignment = np.array([(bits >> i) & 1 for i in range(n)], dtype=bool)
-        if partitioner.arch.hot.count == 0 and assignment.any():
-            continue
-        if partitioner.arch.cold.count == 0 and not assignment.all():
-            continue
-        for mode in modes:
-            time_s, totals = partitioner.predicted_runtime(tiled, assignment, mode)
-            if best is None or time_s < best.predicted_time_s:
-                best = PartitionResult(
-                    label="exhaustive",
-                    assignment=assignment,
-                    mode=mode,
-                    predicted_time_s=time_s,
-                    totals=totals,
+
+    # Bit-unpack every assignment at once: row ``b`` of ``A`` is the
+    # assignment for bitmask ``b`` (bit i = tile i hot), in the same
+    # ascending enumeration order as the scalar loop this replaces.
+    n_assign = 1 << n
+    A = (
+        (np.arange(n_assign, dtype=np.int64)[:, None] >> np.arange(n, dtype=np.int64))
+        & 1
+    ).astype(bool)
+    any_hot = A.any(axis=1)
+    any_cold = (~A).any(axis=1)
+    valid = np.ones(n_assign, dtype=bool)
+    if arch.hot.count == 0:
+        valid &= ~any_hot
+    if arch.cold.count == 0:
+        valid &= ~any_cold
+
+    # Per-tile costs only depend on whether a tile is the first of its
+    # type in its panel, so two model evaluations per worker type (first
+    # vs not-first) cover every assignment.
+    model = partitioner.model
+    all_first = np.ones(n, dtype=bool)
+    h_base = model.tile_costs(tiled, arch.hot.traits)
+    h_full = model.tile_costs(tiled, arch.hot.traits, first_mask=all_first)
+    c_base = model.tile_costs(tiled, arch.cold.traits)
+    c_full = model.tile_costs(tiled, arch.cold.traits, first_mask=all_first)
+
+    # First-of-type masks for every assignment: tiles are panel-major, so
+    # each panel is a contiguous column range and its first hot (cold)
+    # tile is the range's first True (False) column.
+    hot_first = np.zeros((n_assign, n), dtype=bool)
+    cold_first = np.zeros((n_assign, n), dtype=bool)
+    panels = tiled.stats.tile_row
+    panel_starts = (
+        np.flatnonzero(np.concatenate(([True], panels[1:] != panels[:-1])))
+        if n
+        else np.zeros(0, dtype=np.int64)
+    )
+    panel_ends = np.append(panel_starts[1:], n)
+    rows_idx = np.arange(n_assign)
+    for s, e in zip(panel_starts.tolist(), panel_ends.tolist()):
+        sub = A[:, s:e]
+        has = sub.any(axis=1)
+        hot_first[rows_idx[has], s + sub.argmax(axis=1)[has]] = True
+        sub = ~sub
+        has = sub.any(axis=1)
+        cold_first[rows_idx[has], s + sub.argmax(axis=1)[has]] = True
+
+    def group_totals(first, chosen, base, full, count, active):
+        time_tile = np.where(first, full.time_s[None, :], base.time_s[None, :])
+        byte_tile = np.where(first, full.bytes[None, :], base.bytes[None, :])
+        t = (time_tile * chosen).sum(axis=1) / max(count, 1)
+        b = (byte_tile * chosen).sum(axis=1)
+        return np.where(active, t, 0.0), np.where(active, b, 0.0)
+
+    th_total, bh_total = group_totals(
+        hot_first, A, h_base, h_full, arch.hot.count, any_hot
+    )
+    tc_total, bc_total = group_totals(
+        cold_first, ~A, c_base, c_full, arch.cold.count, any_cold
+    )
+
+    bw = arch.mem_bw_bytes_per_sec
+    pcie = arch.pcie_bw_bytes_per_sec
+    hot_pcie_time = bh_total / pcie if pcie else np.zeros(n_assign)
+    scores = []
+    for mode in modes:
+        if mode is ExecutionMode.PARALLEL:
+            t_merge = np.where(
+                any_hot & any_cold, arch.merge_time_s(tiled.matrix.n_rows), 0.0
+            )
+            scores.append(
+                np.maximum(
+                    np.maximum(th_total, tc_total),
+                    np.maximum((bh_total + bc_total) / bw, hot_pcie_time),
                 )
-    assert best is not None  # bits = 0 always evaluated
-    return best
+                + t_merge
+            )
+        else:
+            scores.append(
+                np.maximum(np.maximum(th_total, bh_total / bw), hot_pcie_time)
+                + np.maximum(tc_total, bc_total / bw)
+            )
+    # Flatten bit-major, mode-minor -- the scalar loop's evaluation order
+    # -- so argmin's first-minimum rule reproduces its strict-< tie-break.
+    score = np.stack(scores, axis=1)
+    score[~valid, :] = np.inf
+    flat = score.reshape(-1)
+    k = int(np.argmin(flat))
+    assert np.isfinite(flat[k])  # some assignment is always admissible
+    assignment = A[k // len(modes)].copy()
+    mode = modes[k % len(modes)]
+    # Re-score the winner through the scalar path so the returned time and
+    # totals are exactly what predicted_runtime reports for it.
+    time_s, totals = partitioner.predicted_runtime(tiled, assignment, mode)
+    return PartitionResult(
+        label="exhaustive",
+        assignment=assignment,
+        mode=mode,
+        predicted_time_s=time_s,
+        totals=totals,
+    )
 
 
 def _prefix(values: np.ndarray) -> np.ndarray:

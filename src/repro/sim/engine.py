@@ -26,13 +26,14 @@ from repro.arch.heterogeneous import Architecture
 from repro.core.partition import ExecutionMode
 from repro.core.traits import WorkerKind
 from repro.obs.tracer import SIM, Tracer, get_tracer
-from repro.sim.memory import allocate_rates
+from repro.sim.memory import RateAllocator
 from repro.sim.worker_sim import InstancePlan, build_plans
 from repro.sparse.tiling import TiledMatrix
 
 __all__ = ["GroupStats", "SimResult", "simulate", "simulate_homogeneous"]
 
 _EPS = 1e-18
+_INF = float("inf")
 _CACHE_LINE_BYTES = 64
 
 #: Shared no-op tracer so the hot path stays branch-light when disabled.
@@ -185,34 +186,54 @@ def _run_fluid(
     labels: Optional[List[str]] = None,
     t_offset: float = 0.0,
 ) -> Tuple[float, np.ndarray, Tuple[Tuple[float, float], ...]]:
-    """Advance all instances to completion.
+    """Advance all instances to completion (the incremental event core).
 
     Returns ``(makespan, completions, bandwidth_profile)`` where the
     profile is a piecewise-constant series of (interval end, aggregate
     bytes/s) pairs -- the "bandwidth over time" view of the run.
 
+    The loop is event-incremental: water-filling allocations are memoized
+    on the demand bitmask (caps are the static per-trait ``max_rates``, so
+    rates depend only on *which* instances are draining bytes), the
+    bitmask is maintained by the state transitions themselves instead of
+    being rescanned, and phases that retire without changing the demand
+    set -- consecutive phases of the same instance, pure-compute phase
+    boundaries -- reuse the standing allocation with no reallocation at
+    all.  Every arithmetic step (rate grants, interval lengths, remaining
+    work updates, clamps) is performed in the same order and with the same
+    IEEE-754 operations as the pre-optimization loop preserved in
+    :mod:`repro.sim._reference`, so results are bit-identical -- pinned by
+    ``tests/sim/test_perf_differential.py``.
+
     When ``tracer`` is an enabled :class:`~repro.obs.tracer.Tracer`, the
     run is narrated onto virtual-time tracks (one per instance, named by
     ``labels``, timestamps shifted by ``t_offset``): one span per chunk a
-    worker executes, one ``rebalance`` event per water-filling
-    reallocation, and a ``bandwidth`` counter track sampling the
-    aggregate grant.  Tracing observes the existing state only -- it
-    never feeds back into the arithmetic, which the differential tests
-    pin down bit for bit."""
+    worker executes, one ``rebalance`` event per fluid interval, and a
+    ``bandwidth`` counter track sampling the aggregate grant.  Tracing
+    observes the existing state only -- it never feeds back into the
+    arithmetic, which the differential tests pin down bit for bit."""
     n = len(plans)
     completions = np.zeros(n, dtype=np.float64)
     if n == 0:
         return 0.0, completions, ()
 
     phase_lists = [[p for c in plan.chunks for p in c.phases] for plan in plans]
-    phase_idx = np.zeros(n, dtype=np.int64)
-    c_rem = np.zeros(n, dtype=np.float64)
-    b_rem = np.zeros(n, dtype=np.float64)
-    done = np.zeros(n, dtype=bool)
+    phase_idx = [0] * n
+    c_rem = [0.0] * n
+    b_rem = [0.0] * n
+    done = [False] * n
     max_rates = np.array([p.traits.mem_rate_bytes_per_sec() for p in plans])
     pcie_mask = None
     if arch.pcie_bw_bytes_per_sec is not None:
         pcie_mask = np.array([p.kind is WorkerKind.HOT for p in plans], dtype=bool)
+    allocator = RateAllocator(
+        max_rates, arch.mem_bw_bytes_per_sec, pcie_mask, arch.pcie_bw_bytes_per_sec
+    )
+    #: instances whose cap is actually positive (tracer's "demanding" count).
+    pos_rate_mask = 0
+    for i in range(n):
+        if max_rates[i] > 0.0:
+            pos_rate_mask |= 1 << i
 
     if tracer is not None:
         if labels is None:
@@ -222,14 +243,14 @@ def _run_fluid(
             [ci for ci, c in enumerate(plan.chunks) for _ in c.phases]
             for plan in plans
         ]
-        chunk_start = np.full(n, t_offset, dtype=np.float64)
+        chunk_start = [t_offset] * n
 
     def _emit_chunk(i: int, ci: int, end: float) -> None:
         chunk = plans[i].chunks[ci]
         tracer.complete(
             f"chunk{ci}",
-            ts=float(chunk_start[i]),
-            dur=end - float(chunk_start[i]),
+            ts=chunk_start[i],
+            dur=end - chunk_start[i],
             process=SIM,
             track=labels[i],
             cat="sim",
@@ -239,21 +260,47 @@ def _run_fluid(
         )
         chunk_start[i] = end
 
+    def _load_next_phase(i: int) -> bool:
+        """Load instance ``i``'s next non-empty phase; False when exhausted."""
+        phases = phase_lists[i]
+        pi = phase_idx[i]
+        while pi < len(phases):
+            c, b = phases[pi]
+            pi += 1
+            if c > _EPS or b > _EPS:
+                phase_idx[i] = pi
+                c_rem[i] = c
+                b_rem[i] = b
+                return True
+        phase_idx[i] = pi
+        return False
+
+    n_active = 0
+    demand_key = 0  # bitmask of instances with pending memory traffic
     for i in range(n):
-        if not _load_next_phase(phase_lists, phase_idx, c_rem, b_rem, i):
+        if _load_next_phase(i):
+            n_active += 1
+            if b_rem[i] > _EPS:
+                demand_key |= 1 << i
+        else:
             done[i] = True  # instance scheduled with no work
 
     t = 0.0
     profile: List[Tuple[float, float]] = []
-    bw = arch.mem_bw_bytes_per_sec
+    # The standing allocation; refreshed only when the demand set changes.
+    rates: List[float] = []
+    rates_sum = 0.0
+    alloc_key = -1  # forces an initial allocation
     # Each iteration retires at least one sub-completion; bounded by the
     # total number of phases times two.
     max_iters = 4 * sum(len(pl) for pl in phase_lists) + 4 * n + 16
     for _ in range(max_iters):
-        if done.all():
+        if n_active == 0:
             break
-        caps = np.where(~done & (b_rem > _EPS), max_rates, 0.0)
-        rates = allocate_rates(caps, bw, pcie_mask, arch.pcie_bw_bytes_per_sec)
+        if demand_key != alloc_key:
+            rates_arr, rates_sum = allocator.rates_for_key(demand_key)
+            rates = rates_arr.tolist()
+            alloc_key = demand_key
         if tracer is not None:
             tracer.event(
                 "rebalance",
@@ -261,40 +308,64 @@ def _run_fluid(
                 process=SIM,
                 track="memory",
                 cat="sim",
-                active=int(np.count_nonzero(~done)),
-                demanding=int(np.count_nonzero(caps > 0)),
-                granted_bytes_per_s=float(rates.sum()),
+                active=n_active,
+                demanding=_popcount(demand_key & pos_rate_mask),
+                granted_bytes_per_s=rates_sum,
             )
             tracer.counter(
-                "bandwidth", float(rates.sum()), ts=t + t_offset,
+                "bandwidth", rates_sum, ts=t + t_offset,
                 process=SIM, track="memory",
             )
 
-        with np.errstate(divide="ignore", invalid="ignore"):
-            t_mem = np.where(rates > 0, b_rem / np.maximum(rates, _EPS), np.inf)
-        t_mem = np.where(~done & (b_rem > _EPS), t_mem, np.inf)
-        t_comp = np.where(~done & (c_rem > _EPS), c_rem, np.inf)
-        dt = float(min(t_mem.min(), t_comp.min()))
-        if not np.isfinite(dt):
+        # Next sub-completion: a demanding instance draining its bytes or
+        # a computing instance finishing its compute.
+        dt = _INF
+        for i in range(n):
+            if done[i]:
+                continue
+            b = b_rem[i]
+            if b > _EPS:
+                r = rates[i]
+                if r > 0.0:
+                    t_mem = b / (r if r > _EPS else _EPS)
+                    if t_mem < dt:
+                        dt = t_mem
+            c = c_rem[i]
+            if c > _EPS and c < dt:
+                dt = c
+        if dt == _INF:
             raise RuntimeError("fluid engine stalled: active work but no progress")
         t += dt
-        profile.append((t, float(rates.sum())))
-        active = ~done
-        b_rem[active] = np.maximum(b_rem[active] - rates[active] * dt, 0.0)
-        c_rem[active] = np.maximum(c_rem[active] - dt, 0.0)
+        profile.append((t, rates_sum))
+        for i in range(n):
+            if done[i]:
+                continue
+            b = b_rem[i] - rates[i] * dt
+            if b > _EPS:
+                b_rem[i] = b
+            else:
+                # Mirrors the reference loop exactly: the clamp keeps any
+                # residual in (0, eps] but the demand set drops the user.
+                b_rem[i] = b if b > 0.0 else 0.0
+                demand_key &= ~(1 << i)
+            c = c_rem[i] - dt
+            c_rem[i] = c if c > 0.0 else 0.0
 
-        finished = active & (b_rem <= _EPS) & (c_rem <= _EPS)
-        for i in np.flatnonzero(finished):
-            i = int(i)
+        for i in range(n):
+            if done[i] or b_rem[i] > _EPS or c_rem[i] > _EPS:
+                continue
             if tracer is not None:
-                prev_chunk = chunk_of_phase[i][int(phase_idx[i]) - 1]
-            if _load_next_phase(phase_lists, phase_idx, c_rem, b_rem, i):
+                prev_chunk = chunk_of_phase[i][phase_idx[i] - 1]
+            if _load_next_phase(i):
+                if b_rem[i] > _EPS:
+                    demand_key |= 1 << i
                 if tracer is not None:
-                    next_chunk = chunk_of_phase[i][int(phase_idx[i]) - 1]
+                    next_chunk = chunk_of_phase[i][phase_idx[i] - 1]
                     if next_chunk != prev_chunk:
                         _emit_chunk(i, prev_chunk, t + t_offset)
                 continue
             done[i] = True
+            n_active -= 1
             completions[i] = t
             if tracer is not None:
                 _emit_chunk(i, prev_chunk, t + t_offset)
@@ -307,20 +378,5 @@ def _run_fluid(
     return t, completions, tuple(profile)
 
 
-def _load_next_phase(
-    phase_lists: List[List[Tuple[float, float]]],
-    phase_idx: np.ndarray,
-    c_rem: np.ndarray,
-    b_rem: np.ndarray,
-    i: int,
-) -> bool:
-    """Load instance ``i``'s next non-empty phase; False when exhausted."""
-    phases = phase_lists[i]
-    while phase_idx[i] < len(phases):
-        c, b = phases[phase_idx[i]]
-        phase_idx[i] += 1
-        if c > _EPS or b > _EPS:
-            c_rem[i] = c
-            b_rem[i] = b
-            return True
-    return False
+def _popcount(x: int) -> int:
+    return bin(x).count("1")

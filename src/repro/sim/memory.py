@@ -11,11 +11,11 @@ exhausted, which is the classic max-min fair allocation.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["allocate_rates"]
+__all__ = ["allocate_rates", "RateAllocator"]
 
 #: Relative tolerance for rate comparisons.  The quantities here are
 #: bytes/s of order 1e10-1e11, where double rounding error after a few
@@ -104,3 +104,76 @@ def allocate_rates(
 def total_demand(caps: Sequence[float]) -> float:
     """Aggregate demand, for diagnostics."""
     return float(np.sum(np.asarray(caps, dtype=np.float64)))
+
+
+class RateAllocator:
+    """Memoized max-min water-filling for a fixed user population.
+
+    The fluid engine calls the allocator at every event, but the per-user
+    caps are static for a whole run (``max_rates`` comes from the worker
+    traits): the allocation depends *only on which users are demanding*.
+    This class keys the water-filling result on that demand bitmask, so a
+    run with thousands of events but a handful of distinct demand sets
+    pays for the progressive-filling loop once per set.
+
+    Returned arrays are the cached objects with ``writeable=False`` --
+    callers must not mutate them.  Results are produced by the exact same
+    :func:`allocate_rates` call the unmemoized path would make, so they
+    are bit-identical to a fresh computation (pinned by the property tests
+    in ``tests/sim/test_engine_property.py``).
+    """
+
+    def __init__(
+        self,
+        max_rates: np.ndarray,
+        bw_bytes_per_sec: float,
+        pcie_members: Optional[np.ndarray] = None,
+        pcie_bw_bytes_per_sec: Optional[float] = None,
+    ) -> None:
+        self.max_rates = np.asarray(max_rates, dtype=np.float64)
+        if self.max_rates.ndim != 1:
+            raise ValueError("max_rates must be a 1-D array")
+        self.n = int(self.max_rates.shape[0])
+        self.bw_bytes_per_sec = float(bw_bytes_per_sec)
+        self.pcie_members = (
+            None if pcie_members is None else np.asarray(pcie_members, dtype=bool)
+        )
+        self.pcie_bw_bytes_per_sec = pcie_bw_bytes_per_sec
+        #: demand bitmask -> (rates array, aggregate bytes/s)
+        self._memo: dict = {}
+
+    def mask_key(self, demand: np.ndarray) -> int:
+        """Pack a boolean demand mask into the memoization key."""
+        key = 0
+        for i in np.flatnonzero(demand):
+            key |= 1 << int(i)
+        return key
+
+    def rates_for_key(self, key: int) -> Tuple[np.ndarray, float]:
+        """``(rates, rates.sum())`` for a packed demand bitmask."""
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        caps = np.zeros(self.n, dtype=np.float64)
+        for i in range(self.n):
+            if key >> i & 1:
+                caps[i] = self.max_rates[i]
+        rates = allocate_rates(
+            caps, self.bw_bytes_per_sec, self.pcie_members, self.pcie_bw_bytes_per_sec
+        )
+        rates.flags.writeable = False
+        entry = (rates, float(rates.sum()))
+        self._memo[key] = entry
+        return entry
+
+    def rates(self, demand: np.ndarray) -> np.ndarray:
+        """Rates for a boolean demand mask (memoized)."""
+        demand = np.asarray(demand, dtype=bool)
+        if demand.shape != (self.n,):
+            raise ValueError(f"demand mask must have shape ({self.n},)")
+        return self.rates_for_key(self.mask_key(demand))[0]
+
+    @property
+    def memo_size(self) -> int:
+        """Number of distinct demand sets seen (diagnostics)."""
+        return len(self._memo)

@@ -7,6 +7,8 @@ is never confused with the observability layer.  Import from
 ``repro.sim.utilization`` in new code.
 """
 
+import warnings
+
 from repro.sim.utilization import (  # noqa: F401
     UtilizationRow,
     bandwidth_sparkline,
@@ -15,3 +17,11 @@ from repro.sim.utilization import (  # noqa: F401
 )
 
 __all__ = ["UtilizationRow", "geomean", "utilization_row", "bandwidth_sparkline"]
+
+# Module-level so the warning fires exactly once per process (Python caches
+# the module after the first import).
+warnings.warn(
+    "repro.sim.trace is deprecated; import from repro.sim.utilization instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

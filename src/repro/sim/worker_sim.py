@@ -40,7 +40,7 @@ from repro.core.problem import Kernel, ProblemSpec
 from repro.core.reuse import effective_tile_heights, effective_tile_widths, sparse_bytes_accessed
 from repro.core.traits import ReuseType, Task, Traversal, WorkerKind, WorkerTraits
 from repro.sim.cache import windowed_lru_misses
-from repro.sparse.tiling import TiledMatrix
+from repro.sparse.tiling import TiledMatrix, concat_ranges
 
 __all__ = ["Chunk", "InstancePlan", "build_plans", "DEFAULT_UNTILED_BLOCK_DIVISOR"]
 
@@ -104,14 +104,17 @@ def build_plans(
         raise ValueError("tiles assigned to cold workers but architecture has none")
 
     plans = []
+    row_bytes = float(arch.problem.dense_row_bytes)
     for group, mask in ((arch.hot, assignment), (arch.cold, ~assignment)):
         units = _work_units(tiled, mask, group.traits, untiled_block_rows)
-        schedules = _balance(units, group.count)
+        schedules = [s for s in _balance(units, group.count) if s]
+        din_lists = _din_bytes_per_schedule(
+            tiled, group.traits, arch.problem, schedules, row_bytes
+        )
         plans.append(
             [
-                _plan_instance(arch, tiled, group.traits, group.traits.kind, sched)
-                for sched in schedules
-                if sched
+                _plan_instance(arch, tiled, group.traits, group.traits.kind, sched, din)
+                for sched, din in zip(schedules, din_lists)
             ]
         )
     return plans[0], plans[1]
@@ -126,33 +129,53 @@ def _work_units(
     traits: WorkerTraits,
     untiled_block_rows: Optional[int],
 ) -> List[_WorkUnit]:
-    """Cut this worker type's tiles into schedulable units."""
+    """Cut this worker type's tiles into schedulable units.
+
+    Fully vectorized: all chosen tiles' nonzero indices are gathered with
+    one :func:`concat_ranges` call and unit boundaries come from segment
+    reductions, instead of a per-tile ``np.arange``/``np.concatenate``
+    Python loop.
+    """
     if not mask.any():
         return []
     heights = effective_tile_heights(tiled)
+    offsets = tiled.tile_offsets
     if traits.traversal is Traversal.TILED_ROW_ORDERED or traits.din_reuse in (
         ReuseType.INTRA_TILE_STREAM,
         ReuseType.INTRA_TILE_DEMAND,
     ):
-        # Panel-affine units: scratchpad state is per-panel.
-        units = []
-        for panel, tile_idx in tiled.iter_panels():
-            chosen = tile_idx[mask[tile_idx]]
-            if chosen.size == 0:
-                continue
-            pieces = [
-                np.arange(tiled.tile_offsets[i], tiled.tile_offsets[i + 1])
-                for i in chosen
-            ]
-            units.append(
-                _WorkUnit(
-                    panel=panel,
-                    nnz_idx=np.concatenate(pieces),
-                    height_rows=int(heights[chosen].max()),
-                    tile_idx=chosen,
-                )
+        # Panel-affine units: scratchpad state is per-panel.  Tiles are
+        # stored panel-major, so the chosen tiles of one panel are a
+        # contiguous run of ``chosen``.
+        chosen = np.flatnonzero(mask)
+        lengths = offsets[chosen + 1] - offsets[chosen]
+        all_idx = concat_ranges(offsets[chosen], lengths)
+        seg_ends = np.cumsum(lengths)
+        panels = tiled.stats.tile_row[chosen]
+        unit_start = np.flatnonzero(
+            np.concatenate(([True], panels[1:] != panels[:-1]))
+        )
+        unit_end = np.append(unit_start[1:], chosen.size)
+        unit_heights = np.maximum.reduceat(heights[chosen], unit_start).astype(np.int64)
+        unit_panels = panels[unit_start]
+        unit_lo = seg_ends[unit_start] - lengths[unit_start]
+        unit_hi = seg_ends[unit_end - 1]
+        return [
+            _WorkUnit(
+                panel=panel,
+                nnz_idx=all_idx[lo:hi],
+                height_rows=height,
+                tile_idx=chosen[s:e],
             )
-        return units
+            for panel, lo, hi, height, s, e in zip(
+                unit_panels.tolist(),
+                unit_lo.tolist(),
+                unit_hi.tolist(),
+                unit_heights.tolist(),
+                unit_start.tolist(),
+                unit_end.tolist(),
+            )
+        ]
 
     # Untiled traversal: row-block units (the paper's contiguous-row
     # chunks).  Gather the masked nonzeros, order row-major, and split by
@@ -161,44 +184,52 @@ def _work_units(
         1, tiled.tile_height // DEFAULT_UNTILED_BLOCK_DIVISOR
     )
     tile_ids = np.flatnonzero(mask)
-    pieces = [
-        np.arange(tiled.tile_offsets[i], tiled.tile_offsets[i + 1]) for i in tile_ids
-    ]
-    nnz_idx = np.concatenate(pieces)
-    rows = tiled.rows[nnz_idx]
-    order = np.argsort(
-        rows * np.int64(max(tiled.matrix.n_cols, 1)) + tiled.cols[nnz_idx],
-        kind="stable",
-    )
-    nnz_idx = nnz_idx[order]
+    # Order the chosen nonzeros row-major.  Canonical SparseMatrix storage
+    # is already (row, col)-sorted with unique coordinates, so sorting by
+    # original position gives the same order -- a boolean scatter plus
+    # flatnonzero instead of an argsort.
+    if tile_ids.size == tiled.n_tiles:
+        nnz_idx = tiled.inverse_perm()
+    else:
+        sel_perm = concat_ranges(
+            offsets[tile_ids], offsets[tile_ids + 1] - offsets[tile_ids]
+        )
+        sel = np.zeros(tiled.rows.shape[0], dtype=bool)
+        sel[tiled.perm[sel_perm]] = True
+        nnz_idx = tiled.inverse_perm()[np.flatnonzero(sel)]
+    n = nnz_idx.shape[0]
     blocks = tiled.rows[nnz_idx] // block_rows
     boundaries = np.flatnonzero(np.diff(blocks)) + 1
-    units = []
-    for segment in np.split(nnz_idx, boundaries):
-        block = int(tiled.rows[segment[0]] // block_rows)
-        first_row = block * block_rows
-        height = min(block_rows, tiled.matrix.n_rows - first_row)
-        units.append(
-            _WorkUnit(
-                panel=int(first_row // tiled.tile_height),
-                nnz_idx=segment,
-                height_rows=int(height),
-                tile_idx=None,
-            )
+    starts = np.concatenate(([0], boundaries))
+    first_rows = blocks[starts] * block_rows
+    unit_heights = np.minimum(block_rows, tiled.matrix.n_rows - first_rows)
+    unit_panels = first_rows // tiled.tile_height
+    ends = np.append(boundaries, n)
+    return [
+        _WorkUnit(
+            panel=panel,
+            nnz_idx=nnz_idx[lo:hi],
+            height_rows=height,
+            tile_idx=None,
         )
-    return units
+        for panel, lo, hi, height in zip(
+            unit_panels.tolist(), starts.tolist(), ends.tolist(), unit_heights.tolist()
+        )
+    ]
 
 
 def _balance(units: List[_WorkUnit], n_instances: int) -> List[List[_WorkUnit]]:
     """Greedy least-loaded assignment of units to instances, in order."""
     if n_instances == 0 or not units:
         return [[] for _ in range(n_instances)]
-    loads = np.zeros(n_instances, dtype=np.int64)
+    # Plain-list argmin: ties resolve to the lowest instance index, exactly
+    # like np.argmin, without a numpy reduction per unit.
+    loads = [0] * n_instances
     schedules: List[List[_WorkUnit]] = [[] for _ in range(n_instances)]
     for unit in units:
-        instance = int(np.argmin(loads))
+        instance = min(range(n_instances), key=loads.__getitem__)
         schedules[instance].append(unit)
-        loads[instance] += unit.nnz_idx.size
+        loads[instance] += int(unit.nnz_idx.size)
     return schedules
 
 
@@ -211,11 +242,14 @@ def _plan_instance(
     traits: WorkerTraits,
     kind: WorkerKind,
     schedule: List[_WorkUnit],
+    din_bytes: Optional[List[float]] = None,
 ) -> InstancePlan:
     problem = arch.problem
     row_bytes = float(problem.dense_row_bytes)
 
-    din_bytes = _din_bytes_per_unit(tiled, traits, problem, schedule, row_bytes)
+    sparse_bytes = _sparse_bytes_per_unit(tiled, traits, problem, schedule)
+    if din_bytes is None:
+        din_bytes = _din_bytes_per_unit(tiled, traits, problem, schedule, row_bytes)
     dout_read, dout_write = _dout_bytes_per_unit(
         tiled, traits, problem, schedule, row_bytes
     )
@@ -223,25 +257,50 @@ def _plan_instance(
     cycles = traits.cycles_per_nonzero(problem.k, problem.ops_per_nnz)
     freq = traits.frequency_ghz * 1e9
 
+    n_units = len(schedule)
+    sizes = _unit_sizes(schedule)
+    task_arrays = {
+        Task.SPARSE_READ: np.asarray(sparse_bytes, dtype=np.float64),
+        Task.DIN_READ: np.asarray(din_bytes, dtype=np.float64),
+        Task.DOUT_READ: np.asarray(dout_read, dtype=np.float64),
+        Task.DOUT_WRITE: np.asarray(dout_write, dtype=np.float64),
+    }
+    compute = (sizes * cycles / freq).tolist()
+    # Per overlap group, sum the member tasks' bytes across all units at
+    # once.  The additions run in the same left-to-right task order as a
+    # sequential per-unit sum, and adding 0.0 for absent tasks is exact
+    # for the non-negative totals here, so the values match the scalar
+    # loop bit for bit.
+    group_bytes = []
+    group_compute = []
+    for group in traits.overlap_groups:
+        b = np.zeros(n_units, dtype=np.float64)
+        for t in group:
+            arr = task_arrays.get(t)
+            if arr is not None:
+                b = b + arr
+        group_bytes.append(b.tolist())
+        group_compute.append(Task.COMPUTE in group)
+    cb = task_arrays[Task.SPARSE_READ] + task_arrays[Task.DIN_READ]
+    cb = cb + task_arrays[Task.DOUT_READ]
+    cb = cb + task_arrays[Task.DOUT_WRITE]
+    chunk_bytes_all = cb.tolist()
+    sizes_list = sizes.tolist()
+
     chunks: List[Chunk] = []
     nnz_total = 0
     bytes_total = 0.0
+    n_groups = len(group_bytes)
     for ui, unit in enumerate(schedule):
-        chunk_nnz = int(unit.nnz_idx.size)
-        task_bytes = {
-            Task.SPARSE_READ: _sparse_bytes(tiled, traits, problem, unit),
-            Task.DIN_READ: din_bytes[ui],
-            Task.DOUT_READ: dout_read[ui],
-            Task.DOUT_WRITE: dout_write[ui],
-        }
-        compute_s = chunk_nnz * cycles / freq
+        chunk_nnz = sizes_list[ui]
+        compute_s = compute[ui]
         phases: List[Tuple[float, float]] = []
-        for group in traits.overlap_groups:
-            c = compute_s if Task.COMPUTE in group else 0.0
-            b = sum(task_bytes.get(t, 0.0) for t in group)
+        for gi in range(n_groups):
+            c = compute_s if group_compute[gi] else 0.0
+            b = group_bytes[gi][ui]
             if c > 0.0 or b > 0.0:
                 phases.append((c, b))
-        chunk_bytes = sum(task_bytes.values())
+        chunk_bytes = chunk_bytes_all[ui]
         chunks.append(
             Chunk(panel=unit.panel, phases=phases, nnz=chunk_nnz, bytes_total=chunk_bytes)
         )
@@ -258,29 +317,128 @@ def _plan_instance(
     )
 
 
-def _sparse_bytes(
-    tiled: TiledMatrix, traits: WorkerTraits, problem: ProblemSpec, unit: _WorkUnit
-) -> float:
-    if unit.tile_idx is not None:
+def _unit_sizes(schedule: List[_WorkUnit]) -> np.ndarray:
+    """Nonzero count of each unit, as one int64 array."""
+    return np.fromiter(
+        (u.nnz_idx.size for u in schedule), dtype=np.int64, count=len(schedule)
+    )
+
+
+def _cat_tile_segments(schedule: List[_WorkUnit]) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenated tile indices of a tiled schedule plus segment starts.
+
+    Feeds ``np.add.reduceat``-style segment reductions: element ``i`` of
+    ``reduceat(values[cat], starts)`` is the reduction over unit ``i``'s
+    tiles.  Every unit of a tiled schedule has at least one tile, so the
+    segments are non-empty as ``reduceat`` requires.
+    """
+    lengths = np.fromiter(
+        (u.tile_idx.size for u in schedule), dtype=np.int64, count=len(schedule)
+    )
+    cat = np.concatenate([u.tile_idx for u in schedule])
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    return cat, starts
+
+
+def _distinct_rows_per_unit(tiled: TiledMatrix, schedule: List[_WorkUnit]) -> np.ndarray:
+    """Distinct matrix rows touched by each unit.
+
+    Equivalent to ``np.unique(tiled.rows[u.nnz_idx]).size`` per unit.
+    Row-block units keep their nonzeros row-major, so distinct rows are a
+    boundary count with no sort at all; tiled units (rows repeat across a
+    panel's tiles) fall back to a single keyed unique over ``(unit, row)``
+    pairs instead of one ``np.unique`` per unit.
+    """
+    sizes = _unit_sizes(schedule)
+    cat = np.concatenate([u.nnz_idx for u in schedule])
+    rows_cat = tiled.rows[cat]
+    starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    if schedule[0].tile_idx is None:
+        new_row = np.empty(rows_cat.shape[0], dtype=bool)
+        new_row[0] = True
+        np.not_equal(rows_cat[1:], rows_cat[:-1], out=new_row[1:])
+        new_row[starts] = True
+        return np.add.reduceat(new_row.astype(np.int64), starts)
+    unit_id = np.repeat(np.arange(len(schedule), dtype=np.int64), sizes)
+    span = np.int64(max(tiled.matrix.n_rows, 1))
+    uniq = np.unique(unit_id * span + rows_cat)
+    return np.bincount(uniq // span, minlength=len(schedule)).astype(np.int64)
+
+
+def _sparse_bytes_per_unit(
+    tiled: TiledMatrix,
+    traits: WorkerTraits,
+    problem: ProblemSpec,
+    schedule: List[_WorkUnit],
+) -> List[float]:
+    if not schedule:
+        return []
+    if schedule[0].tile_idx is not None:
         heights = effective_tile_heights(tiled)
-        return float(
-            sparse_bytes_accessed(
-                traits.sparse_format,
-                tiled.stats.nnz[unit.tile_idx],
-                heights[unit.tile_idx],
-                problem.value_bytes,
-                problem.index_bytes,
-            ).sum()
-        )
-    return float(
-        sparse_bytes_accessed(
+        cat, starts = _cat_tile_segments(schedule)
+        per_tile = sparse_bytes_accessed(
             traits.sparse_format,
-            np.array([unit.nnz_idx.size]),
-            np.array([unit.height_rows], dtype=np.float64),
+            tiled.stats.nnz[cat],
+            heights[cat],
             problem.value_bytes,
             problem.index_bytes,
-        )[0]
+        )
+        return np.add.reduceat(per_tile, starts).tolist()
+    return sparse_bytes_accessed(
+        traits.sparse_format,
+        _unit_sizes(schedule),
+        np.fromiter(
+            (u.height_rows for u in schedule), dtype=np.float64, count=len(schedule)
+        ),
+        problem.value_bytes,
+        problem.index_bytes,
+    ).tolist()
+
+
+def _din_bytes_per_schedule(
+    tiled: TiledMatrix,
+    traits: WorkerTraits,
+    problem: ProblemSpec,
+    schedules: List[List[_WorkUnit]],
+    row_bytes: float,
+) -> List[List[float]]:
+    """Per-unit *Din* bytes for every instance schedule of one group.
+
+    Most reuse types delegate to :func:`_din_bytes_per_unit` per schedule.
+    The demand-cache case (``NONE`` with a positive cache size) instead
+    runs ONE windowed-LRU pass over every instance's access sequence:
+    column ids are keyed by instance, and because each instance's segment
+    is contiguous in the concatenation, window gaps inside an instance are
+    unchanged while cross-instance accesses can never match keys -- the
+    per-instance miss masks come out identical to separate calls.
+    """
+    if not schedules:
+        return []
+    capacity_rows = (
+        int(traits.cache_bytes // row_bytes) if traits.cache_bytes > 0 else 0
     )
+    if traits.din_reuse is not ReuseType.NONE or capacity_rows <= 0:
+        return [
+            _din_bytes_per_unit(tiled, traits, problem, s, row_bytes)
+            for s in schedules
+        ]
+    seqs = [np.concatenate([u.nnz_idx for u in s]) for s in schedules]
+    lens = np.fromiter((q.size for q in seqs), dtype=np.int64, count=len(seqs))
+    cat = np.concatenate(seqs)
+    inst = np.repeat(np.arange(len(seqs), dtype=np.int64), lens)
+    span = np.int64(max(tiled.matrix.n_cols, 1))
+    misses = windowed_lru_misses(inst * span + tiled.cols[cat], capacity_rows)
+    misses = misses.astype(np.int64)
+    out: List[List[float]] = []
+    base = 0
+    for s in schedules:
+        sizes = _unit_sizes(s)
+        total = int(sizes.sum())
+        starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        per_unit = np.add.reduceat(misses[base : base + total], starts)
+        out.append((per_unit.astype(np.float64) * row_bytes).tolist())
+        base += total
+    return out
 
 
 def _din_bytes_per_unit(
@@ -290,43 +448,44 @@ def _din_bytes_per_unit(
     schedule: List[_WorkUnit],
     row_bytes: float,
 ) -> List[float]:
+    if not schedule:
+        return []
     reuse = traits.din_reuse
     stats = tiled.stats
     if reuse is ReuseType.INTRA_TILE_STREAM:
         widths = effective_tile_widths(tiled)
-        return [float(widths[u.tile_idx].sum()) * row_bytes for u in schedule]
+        cat, starts = _cat_tile_segments(schedule)
+        return (np.add.reduceat(widths[cat], starts) * row_bytes).tolist()
     if reuse is ReuseType.INTRA_TILE_DEMAND:
-        return [float(stats.uniq_cids[u.tile_idx].sum()) * row_bytes for u in schedule]
+        cat, starts = _cat_tile_segments(schedule)
+        per_unit = np.add.reduceat(stats.uniq_cids[cat], starts)
+        return (per_unit.astype(np.float64) * row_bytes).tolist()
     if reuse is ReuseType.NONE:
         capacity_rows = (
             int(traits.cache_bytes // row_bytes) if traits.cache_bytes > 0 else 0
         )
+        sizes = _unit_sizes(schedule)
         if capacity_rows <= 0:
-            return [float(u.nnz_idx.size) * row_bytes for u in schedule]
+            return (sizes.astype(np.float64) * row_bytes).tolist()
         # The demand cache lives across the instance's whole run: feed the
-        # full access sequence through the windowed LRU, then split the
-        # misses back into units.
-        seq = (
-            np.concatenate([u.nnz_idx for u in schedule])
-            if schedule
-            else np.zeros(0, dtype=np.int64)
-        )
+        # full access sequence through the windowed LRU, then segment-sum
+        # the misses back into units.  (Cast before reduceat: np.add on a
+        # bool array would reduce with logical-or.)
+        seq = np.concatenate([u.nnz_idx for u in schedule])
         misses = windowed_lru_misses(tiled.cols[seq], capacity_rows)
-        out: List[float] = []
-        pos = 0
-        for u in schedule:
-            out.append(float(misses[pos : pos + u.nnz_idx.size].sum()) * row_bytes)
-            pos += u.nnz_idx.size
-        return out
+        starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        per_unit = np.add.reduceat(misses.astype(np.int64), starts)
+        return (per_unit.astype(np.float64) * row_bytes).tolist()
     if reuse is ReuseType.INTER_TILE:
         # No evaluated worker reuses Din across tiles, but support it for
         # completeness: one streamed panel-width load per unit.
-        widths = effective_tile_widths(tiled)
-        return [
-            float(widths[u.tile_idx].max() if u.tile_idx is not None else u.nnz_idx.size)
-            * row_bytes
-            for u in schedule
-        ]
+        if schedule[0].tile_idx is not None:
+            widths = effective_tile_widths(tiled)
+            cat, starts = _cat_tile_segments(schedule)
+            per_unit = np.maximum.reduceat(widths[cat], starts)
+        else:
+            per_unit = _unit_sizes(schedule).astype(np.float64)
+        return (per_unit * row_bytes).tolist()
     raise ValueError(f"unknown reuse type {reuse!r}")
 
 
@@ -337,36 +496,43 @@ def _dout_bytes_per_unit(
     schedule: List[_WorkUnit],
     row_bytes: float,
 ) -> Tuple[List[float], List[float]]:
+    if not schedule:
+        return [], []
     stats = tiled.stats
     reuse = traits.dout_reuse
-    reads: List[float] = []
-    writes: List[float] = []
-    sddmm = problem.kernel is Kernel.SDDMM
-    for unit in schedule:
-        if reuse is ReuseType.INTER_TILE:
-            first = traits.effective_first_reuse("dout")
-            if first is ReuseType.INTRA_TILE_STREAM:
-                rows = float(unit.height_rows)
-            else:  # demand: distinct row ids the instance touches in the unit
-                rows = float(np.unique(tiled.rows[unit.nnz_idx]).size)
-        elif reuse is ReuseType.INTRA_TILE_DEMAND:
-            if unit.tile_idx is not None:
-                rows = float(stats.uniq_rids[unit.tile_idx].sum())
-            else:
-                rows = float(np.unique(tiled.rows[unit.nnz_idx]).size)
-        elif reuse is ReuseType.INTRA_TILE_STREAM:
-            if unit.tile_idx is not None:
-                heights = effective_tile_heights(tiled)
-                rows = float(heights[unit.tile_idx].sum())
-            else:
-                rows = float(unit.height_rows)
-        elif reuse is ReuseType.NONE:
-            rows = float(unit.nnz_idx.size)
+    tiled_units = schedule[0].tile_idx is not None
+    if reuse is ReuseType.INTER_TILE:
+        first = traits.effective_first_reuse("dout")
+        if first is ReuseType.INTRA_TILE_STREAM:
+            rows = np.fromiter(
+                (u.height_rows for u in schedule), dtype=np.float64, count=len(schedule)
+            )
+        else:  # demand: distinct row ids the instance touches in the unit
+            rows = _distinct_rows_per_unit(tiled, schedule).astype(np.float64)
+    elif reuse is ReuseType.INTRA_TILE_DEMAND:
+        if tiled_units:
+            cat, starts = _cat_tile_segments(schedule)
+            rows = np.add.reduceat(stats.uniq_rids[cat], starts).astype(np.float64)
         else:
-            raise ValueError(f"unknown reuse type {reuse!r}")
-        reads.append(rows * row_bytes)
-        if sddmm:
-            writes.append(float(unit.nnz_idx.size) * problem.value_bytes)
+            rows = _distinct_rows_per_unit(tiled, schedule).astype(np.float64)
+    elif reuse is ReuseType.INTRA_TILE_STREAM:
+        if tiled_units:
+            heights = effective_tile_heights(tiled)
+            cat, starts = _cat_tile_segments(schedule)
+            rows = np.add.reduceat(heights[cat], starts)
         else:
-            writes.append(rows * row_bytes)
+            rows = np.fromiter(
+                (u.height_rows for u in schedule), dtype=np.float64, count=len(schedule)
+            )
+    elif reuse is ReuseType.NONE:
+        rows = _unit_sizes(schedule).astype(np.float64)
+    else:
+        raise ValueError(f"unknown reuse type {reuse!r}")
+    reads = (rows * row_bytes).tolist()
+    if problem.kernel is Kernel.SDDMM:
+        writes = (
+            _unit_sizes(schedule).astype(np.float64) * problem.value_bytes
+        ).tolist()
+    else:
+        writes = list(reads)
     return reads, writes

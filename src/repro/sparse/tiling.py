@@ -19,13 +19,36 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.sparse.matrix import SparseMatrix
 
-__all__ = ["TileStats", "TiledMatrix"]
+__all__ = ["TileStats", "TiledMatrix", "concat_ranges"]
+
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenation of ``[starts[i], starts[i] + lengths[i])`` ranges.
+
+    Vectorized equivalent of
+    ``np.concatenate([np.arange(s, s + l) for s, l in zip(starts, lengths)])``
+    without materializing a Python list of per-range arrays -- the plan
+    builder uses it to gather the nonzero indices of many tiles at once.
+    Zero-length ranges contribute nothing.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    # Element at global position p inside range k equals
+    # starts[k] + (p - out_offset[k]); np.repeat broadcasts the per-range
+    # correction so one np.arange covers every range.
+    return np.repeat(starts - (ends - lengths), lengths) + np.arange(
+        total, dtype=np.int64
+    )
 
 
 @dataclass(frozen=True)
@@ -122,11 +145,27 @@ class TiledMatrix:
             trow, minlength=max(self.n_panel_rows, 1)
         ).astype(np.int64)
 
+        self._inv_perm: Optional[np.ndarray] = None
+
     # ------------------------------------------------------------------
     @property
     def n_tiles(self) -> int:
         """Number of non-empty tiles (empty tiles are eliminated)."""
         return self.stats.n_tiles
+
+    def inverse_perm(self) -> np.ndarray:
+        """Original (row-major) nonzero position -> tile-permuted position.
+
+        The inverse of :attr:`perm`, computed lazily and cached; returned
+        read-only.  Lets consumers recover the canonical row-major order of
+        any subset of the permuted nonzeros without sorting.
+        """
+        if self._inv_perm is None:
+            inv = np.empty(self.perm.shape[0], dtype=np.int64)
+            inv[self.perm] = np.arange(self.perm.shape[0], dtype=np.int64)
+            inv.flags.writeable = False
+            self._inv_perm = inv
+        return self._inv_perm
 
     def tile_nonzeros(self, i: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(rows, cols, vals)`` of tile ``i`` in global coordinates."""

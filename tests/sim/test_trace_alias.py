@@ -1,0 +1,47 @@
+"""The ``repro.sim.trace`` compat alias must warn loudly, and only once."""
+
+import os
+import subprocess
+import sys
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+_PROBE = """
+import warnings
+
+with warnings.catch_warnings(record=True) as caught:
+    warnings.simplefilter("always")
+    import repro.sim.trace
+    import repro.sim.trace as again  # cached module: must NOT warn again
+
+dep = [
+    w
+    for w in caught
+    if issubclass(w.category, DeprecationWarning)
+    and "repro.sim.utilization" in str(w.message)
+]
+assert len(dep) == 1, [str(w.message) for w in caught]
+print("exactly-once")
+"""
+
+
+def test_deprecation_warning_fires_exactly_once():
+    """A fresh interpreter importing the alias twice sees one warning."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _PROBE], capture_output=True, text=True, env=env
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "exactly-once" in proc.stdout
+
+
+def test_alias_still_reexports_objects():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from repro.sim import trace, utilization
+
+    assert trace.utilization_row is utilization.utilization_row
+    assert trace.bandwidth_sparkline is utilization.bandwidth_sparkline
