@@ -21,11 +21,19 @@ MatrixMarket file, exactly what the paper's host-side framework does
     hottiles partition matrix.mtx --arch spade-sextans --scale 4 \\
         [--save-dir out/] [--verify]
 
+*Fault injection* (docs/faults.md) -- simulate under a deterministic
+fault schedule and sweep fault intensity::
+
+    hottiles simulate pap --arch spade-sextans --faults faults.json
+    hottiles simulate pap --random-faults 1.0 --seed 0
+    hottiles resilience pap [--rates 0 0.5 1 2] [--json resilience.json]
+
 *Serving* -- run the preprocessing pipeline as a long-lived plan service
-(see docs/service.md) and drive it::
+(see docs/service.md) and drive it, optionally with chaos injection::
 
     hottiles serve [--port 8750] [--workers 2] [--queue-depth 16]
     hottiles loadgen [--requests 200] [--concurrency 8]
+    hottiles loadgen --chaos [--chaos-rate 0.1] [--chaos-kinds timeout]
 
 *Tracing* -- profile one simulated execution end to end (docs/tracing.md)
 and emit a Chrome-trace/Perfetto JSON plus a text flamegraph summary::
@@ -90,7 +98,10 @@ _SINGLE_MATRIX = {"fig05"}
 
 
 #: Non-experiment subcommands (the experiment ids live in EXPERIMENTS).
-SUBCOMMANDS = ("partition", "sweep", "serve", "loadgen", "cache", "trace", "bench")
+SUBCOMMANDS = (
+    "partition", "sweep", "simulate", "resilience", "serve", "loadgen",
+    "cache", "trace", "bench",
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -104,6 +115,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _partition_command(argv[1:])
     if argv and argv[0] == "sweep":
         return _sweep_command(argv[1:])
+    if argv and argv[0] == "simulate":
+        return _simulate_command(argv[1:])
+    if argv and argv[0] == "resilience":
+        return _resilience_command(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_command(argv[1:])
     if argv and argv[0] == "loadgen":
@@ -197,6 +212,8 @@ def _experiment_command(argv: List[str]) -> int:
             print(f"{name:8s} {doc}")
         print("partition  run the preprocessing pipeline on a MatrixMarket file")
         print("sweep      bandwidth / K / cold-worker-count sensitivity sweeps")
+        print("simulate   partition + simulate once, optionally fault-injected")
+        print("resilience fault-rate sweep: makespan inflation vs fault-free")
         print("serve      run the HTTP partition-planning service")
         print("loadgen    closed-loop load generator against a running service")
         print("cache      experiment result cache maintenance (stats, clear)")
@@ -304,6 +321,189 @@ def _sweep_command(argv: List[str]) -> int:
     if executor.cache is not None:
         executor.cache.flush_counters()
     return 0
+
+
+# ----------------------------------------------------------------------
+def _simulate_command(argv: List[str]) -> int:
+    from repro.arch.configs import ARCHITECTURE_FACTORIES
+    from repro.experiments.matrices import ALL_MATRICES, load_matrix
+    from repro.faults.errors import FaultScheduleError, SimFault
+    from repro.faults.schedule import FaultSchedule
+    from repro.pipeline.preprocess import HotTilesPreprocessor
+    from repro.sim.engine import simulate
+    from repro.sparse.mmio import read_matrix_market
+
+    parser = argparse.ArgumentParser(
+        prog="hottiles simulate",
+        description="Partition and simulate one matrix, optionally under a "
+        "fault-injection schedule (docs/faults.md)",
+    )
+    parser.add_argument(
+        "matrix",
+        help="benchmark short name (e.g. pap) or path to a MatrixMarket file",
+    )
+    parser.add_argument(
+        "--arch",
+        default="spade-sextans",
+        choices=sorted(ARCHITECTURE_FACTORIES),
+        help="target architecture",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=4, help="system scale (SPADE-Sextans variants)"
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="FILE",
+        help="fault schedule JSON to inject (docs/faults.md)",
+    )
+    parser.add_argument(
+        "--random-faults",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="instead of --faults, draw a seeded schedule with about RATE "
+        "events of each type over the fault-free makespan",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for --random-faults"
+    )
+    args = parser.parse_args(argv)
+    if args.faults is not None and args.random_faults is not None:
+        raise SystemExit("--faults and --random-faults are mutually exclusive")
+
+    factory = ARCHITECTURE_FACTORIES[args.arch]
+    arch = factory() if args.arch == "piuma" else factory(args.scale)
+    matrix = (
+        load_matrix(args.matrix)
+        if args.matrix in ALL_MATRICES
+        else read_matrix_market(args.matrix)
+    )
+    print(f"matrix: {matrix}")
+    print(f"architecture: {arch}")
+
+    preprocess = HotTilesPreprocessor(arch).run(matrix)
+    chosen = preprocess.partition.chosen
+    base = simulate(arch, preprocess.tiled, chosen.assignment, chosen.mode)
+    print(
+        f"\nfault-free '{chosen.label}' ({chosen.mode.value}): "
+        f"{base.time_s * 1e3:.3f} ms, {base.bytes_total / 1e6:.1f} MB moved"
+    )
+
+    schedule = None
+    if args.faults is not None:
+        try:
+            schedule = FaultSchedule.load(args.faults)
+            schedule.validate_against(arch.hot.count, arch.cold.count)
+        except (OSError, FaultScheduleError) as exc:
+            raise SystemExit(f"--faults: {exc}")
+    elif args.random_faults is not None:
+        schedule = FaultSchedule.random(
+            seed=args.seed,
+            horizon_s=base.time_s,
+            hot_instances=arch.hot.count,
+            cold_instances=arch.cold.count,
+            failure_rate=args.random_faults,
+            slowdown_rate=args.random_faults,
+            bandwidth_rate=args.random_faults,
+        )
+    if schedule is None or schedule.empty:
+        if schedule is not None:
+            print("fault schedule is empty -- nothing to inject")
+        return 0
+
+    print(f"injecting {schedule!r}")
+    try:
+        faulted = simulate(
+            arch, preprocess.tiled, chosen.assignment, chosen.mode, faults=schedule
+        )
+    except SimFault as exc:
+        print(f"execution did not survive: {exc}", file=sys.stderr)
+        return 1
+    summary = faulted.faults
+    print(
+        f"degraded: {faulted.time_s * 1e3:.3f} ms "
+        f"({faulted.time_s / base.time_s:.2f}x inflation)"
+    )
+    if summary is not None:
+        print(
+            f"injected {summary.slowdowns} slowdowns, {summary.failures} "
+            f"failures, {summary.bandwidth_windows} bandwidth windows; "
+            f"{summary.reassigned_phases} phases reassigned"
+            + (
+                f" off {', '.join(summary.failed_instances)}"
+                if summary.failed_instances
+                else ""
+            )
+        )
+    return 0
+
+
+def _resilience_command(argv: List[str]) -> int:
+    from repro.experiments.matrices import ALL_MATRICES, load_matrix
+    from repro.experiments.resilience import (
+        DEFAULT_ARCHES,
+        DEFAULT_RATES,
+        resilience_sweep,
+    )
+    from repro.sparse.mmio import read_matrix_market
+
+    parser = argparse.ArgumentParser(
+        prog="hottiles resilience",
+        description="Fault-rate sweep: makespan inflation vs the fault-free "
+        "run per architecture (docs/faults.md)",
+    )
+    parser.add_argument(
+        "matrix",
+        help="benchmark short name (e.g. pap) or path to a MatrixMarket file",
+    )
+    parser.add_argument(
+        "--arch",
+        nargs="+",
+        default=list(DEFAULT_ARCHES),
+        help=f"architectures to sweep (default: {' '.join(DEFAULT_ARCHES)})",
+    )
+    parser.add_argument(
+        "--rates",
+        nargs="+",
+        type=float,
+        default=list(DEFAULT_RATES),
+        help="expected events of each fault type over the fault-free makespan",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="schedule seed")
+    parser.add_argument(
+        "--scale", type=int, default=4, help="system scale (SPADE-Sextans variants)"
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the sweep as a JSON report (the CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    matrix = (
+        load_matrix(args.matrix)
+        if args.matrix in ALL_MATRICES
+        else read_matrix_market(args.matrix)
+    )
+    try:
+        result = resilience_sweep(
+            matrix,
+            arches=args.arch,
+            rates=args.rates,
+            seed=args.seed,
+            scale=args.scale,
+            label=args.matrix,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(result.render())
+    print(f"max makespan inflation {result.max_inflation():.2f}x")
+    if args.json:
+        result.save_json(args.json)
+        print(f"report written to {args.json}")
+    return 0 if result.all_finite() else 1
 
 
 # ----------------------------------------------------------------------
@@ -516,6 +716,12 @@ def _serve_command(argv: List[str]) -> int:
         help="byte cap for stored plan results (oldest evicted first)",
     )
     parser.add_argument(
+        "--no-degraded-fallback",
+        action="store_true",
+        help="on a request timeout answer 504 instead of serving the "
+        "roofline-only degraded plan (docs/faults.md)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     parser.add_argument(
@@ -533,6 +739,7 @@ def _serve_command(argv: List[str]) -> int:
         workers=args.workers,
         queue_depth=args.queue_depth,
         default_timeout_s=args.timeout,
+        degraded_fallback=not args.no_degraded_fallback,
     )
     server = make_server(service, host=args.host, port=args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
@@ -587,9 +794,45 @@ def _loadgen_command(argv: List[str]) -> int:
         default=2,
         help="workload passes; pass 1 is cold, the rest are warm (default: 2)",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject client-side faults into a fraction of requests "
+        "(docs/faults.md)",
+    )
+    parser.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.1,
+        metavar="F",
+        help="fraction of requests perturbed under --chaos (default: 0.1)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0, help="chaos RNG seed (default: 0)"
+    )
+    parser.add_argument(
+        "--chaos-kinds",
+        nargs="+",
+        default=["timeout"],
+        metavar="KIND",
+        help="fault kinds to draw from: timeout and/or malformed "
+        "(default: timeout only, so every injection is absorbable)",
+    )
     args = parser.parse_args(argv)
     if args.passes < 1:
         raise SystemExit("--passes must be >= 1")
+    chaos = None
+    if args.chaos:
+        from repro.faults.chaos import ChaosConfig
+
+        try:
+            chaos = ChaosConfig(
+                rate=args.chaos_rate,
+                seed=args.chaos_seed,
+                kinds=tuple(args.chaos_kinds),
+            )
+        except ValueError as exc:
+            raise SystemExit(f"--chaos: {exc}")
 
     report = run_loadgen(
         args.url.rstrip("/"),
@@ -597,6 +840,7 @@ def _loadgen_command(argv: List[str]) -> int:
         concurrency=args.concurrency,
         plans=args.plans,
         passes=args.passes,
+        chaos=chaos,
     )
     print(report.render())
     return 1 if report.failed or not report.reconciles() else 0

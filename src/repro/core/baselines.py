@@ -25,9 +25,28 @@ from repro.sparse.tiling import TiledMatrix
 __all__ = [
     "hot_only_assignment",
     "cold_only_assignment",
+    "clamp_hot_tile_count",
     "IUnawareDecision",
     "iunaware_assignment",
 ]
+
+
+def clamp_hot_tile_count(frac: float, n: int) -> int:
+    """Hot-tile count for an Eq. 1 fraction, never rounding a split away.
+
+    ``int(round(frac * n))`` banker's-rounds, so a strictly interior
+    fraction (``0 < frac < 1``) could collapse to 0 hot tiles (or all
+    ``n``) on small matrices -- silently turning IUnaware into ColdOnly
+    (or HotOnly).  A genuine split keeps at least one tile on each side:
+    ``1 <= n_hot <= n - 1`` whenever ``n >= 2``.
+    """
+    if n <= 0 or frac <= 0.0:
+        return 0
+    if frac >= 1.0:
+        return n
+    if n == 1:
+        return 1 if frac >= 0.5 else 0
+    return max(1, min(int(round(frac * n)), n - 1))
 
 
 def hot_only_assignment(n_tiles: int) -> np.ndarray:
@@ -77,11 +96,11 @@ def iunaware_assignment(
         ex_hw = th / arch.hot.count
         ex_cw = tc / arch.cold.count
         frac = ex_cw / (ex_cw + ex_hw) if (ex_cw + ex_hw) > 0 else 0.0
-    n_hot = int(round(frac * n))
+    n_hot = clamp_hot_tile_count(frac, n)
     assignment = np.zeros(n, dtype=bool)
     if n_hot > 0:
         rng = np.random.default_rng(seed)
-        assignment[rng.choice(n, size=min(n_hot, n), replace=False)] = True
+        assignment[rng.choice(n, size=n_hot, replace=False)] = True
     return IUnawareDecision(
         assignment=assignment,
         frac_tile_hot=frac,

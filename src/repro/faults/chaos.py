@@ -1,0 +1,100 @@
+"""Chaos configuration for the closed-loop load generator.
+
+``hottiles loadgen --chaos`` perturbs a configurable fraction of
+requests before they leave the client, exercising the service's fault
+handling end to end:
+
+- ``timeout`` -- the request carries a near-zero ``timeout_s``, so the
+  server either answers from the store in time, falls back to the
+  roofline-only degraded plan, or sheds the request with ``504``.  All
+  three are *expected* chaos outcomes, not failures.
+- ``malformed`` -- the request body is corrupted (an unknown generator
+  parameter), so the server must answer ``400`` deterministically.
+  Opt-in (``--chaos-kinds timeout malformed``): a malformed request is a
+  terminal error by design, and the CI chaos smoke asserts *zero*
+  terminal errors under the default kinds.
+
+Decisions are drawn from one seeded generator, so a chaos run is
+reproducible given ``(seed, rate, kinds)``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CHAOS_KINDS", "ChaosConfig", "ChaosDecision"]
+
+#: Injectable fault kinds, in the order the RNG indexes them.
+CHAOS_KINDS: Tuple[str, ...] = ("timeout", "malformed")
+
+#: timeout_s injected by the ``timeout`` fault: small enough that a cold
+#: plan cannot finish, large enough that a store hit still wins the race.
+_CHAOS_TIMEOUT_S = 0.005
+
+
+@dataclass(frozen=True)
+class ChaosDecision:
+    """What the chaos layer did to one request."""
+
+    kind: Optional[str]  #: None = untouched
+    payload: Dict[str, Any]
+
+    @property
+    def injected(self) -> bool:
+        return self.kind is not None
+
+    def expects(self, status: int) -> bool:
+        """Is ``status`` an acceptable outcome for this injection?"""
+        if self.kind == "timeout":
+            # Store hit / degraded fallback (200), shed (504), or
+            # backpressure the client already retries (429).
+            return status in (200, 429, 504)
+        if self.kind == "malformed":
+            return status == 400
+        return status == 200
+
+
+@dataclass
+class ChaosConfig:
+    """Rate, seed, and fault mix of one chaos loadgen run."""
+
+    rate: float = 0.1  #: fraction of requests perturbed
+    seed: int = 0
+    kinds: Tuple[str, ...] = ("timeout",)
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _lock_free_note: None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"chaos rate must be in [0, 1], got {self.rate!r}")
+        unknown = set(self.kinds) - set(CHAOS_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown chaos kind(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(CHAOS_KINDS)})"
+            )
+        if not self.kinds:
+            raise ValueError("chaos kinds must not be empty")
+        self._rng = np.random.default_rng(self.seed)
+
+    def decide(self, payload: Dict[str, Any]) -> ChaosDecision:
+        """Perturb (or pass through) one request payload.
+
+        Called under the load generator's counter lock, so the seeded
+        RNG needs no synchronization of its own.
+        """
+        if float(self._rng.random()) >= self.rate:
+            return ChaosDecision(kind=None, payload=payload)
+        kind = self.kinds[int(self._rng.integers(len(self.kinds)))]
+        mutated = copy.deepcopy(dict(payload))
+        if kind == "timeout":
+            mutated["timeout_s"] = _CHAOS_TIMEOUT_S
+        else:  # malformed
+            generator = dict(mutated.get("generator") or {"kind": "rmat"})
+            generator["chaos_bogus_param"] = 1
+            mutated["generator"] = generator
+        return ChaosDecision(kind=kind, payload=mutated)

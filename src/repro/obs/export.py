@@ -30,14 +30,35 @@ __all__ = ["chrome_trace", "save_chrome_trace", "span_tree"]
 
 _SEC_TO_US = 1e6
 
+#: Arrays larger than this export as a shape/dtype summary, not elements.
+_MAX_ARRAY_ELEMENTS = 64
+
 
 def _json_safe(value: Any) -> Any:
-    """Coerce record arguments into JSON-serializable scalars."""
+    """Coerce record arguments into JSON-serializable scalars.
+
+    Numpy arrays convert element-wise via ``tolist()`` (``.item()`` only
+    works for size-1 arrays, so multi-element arrays used to fall through
+    to ``str(...)`` and export a truncated repr); arrays beyond
+    ``_MAX_ARRAY_ELEMENTS`` become a shape/dtype summary string so one
+    careless span argument cannot bloat the trace file.
+    """
     if isinstance(value, (str, bool)) or value is None:
         return value
     if isinstance(value, (int, float)):
         return value
-    item = getattr(value, "item", None)  # numpy scalars
+    tolist = getattr(value, "tolist", None)  # numpy arrays and scalars
+    if callable(tolist):
+        size = getattr(value, "size", 1)
+        if isinstance(size, int) and size > _MAX_ARRAY_ELEMENTS:
+            shape = tuple(getattr(value, "shape", ()))
+            dtype = getattr(value, "dtype", "?")
+            return f"ndarray(shape={shape}, dtype={dtype})"
+        try:
+            return _json_safe(tolist())
+        except (TypeError, ValueError):
+            pass
+    item = getattr(value, "item", None)  # other scalar wrappers
     if callable(item):
         try:
             return _json_safe(item())

@@ -6,7 +6,10 @@ Endpoints (all JSON):
   object; replies ``200`` with ``{"served": ..., "plan": {...}}``,
   ``400`` on a malformed request, ``429`` + ``Retry-After`` when the
   admission queue sheds load, ``504`` on a per-request timeout, ``503``
-  while draining, ``500`` when the plan computation itself failed.
+  while draining, ``500`` when the plan computation failed *terminally*,
+  and ``503`` + ``Retry-After`` when it failed with a *retryable* error
+  (failure bodies carry a structured ``error_detail`` record -- see
+  docs/faults.md).
 - ``GET /plan/<digest>`` -- a previously computed plan, or ``404``.
 - ``GET /healthz`` -- liveness (``200`` while serving, ``503`` draining).
 - ``GET /stats`` -- the full metrics snapshot.
@@ -76,7 +79,24 @@ class PlanRequestHandler(BaseHTTPRequestHandler):
         except ServiceClosed as exc:
             self._send_json(503, {"error": str(exc)})
         except PlanFailed as exc:
-            self._send_json(500, {"error": str(exc)})
+            # Retryable failures answer 503 + Retry-After so well-behaved
+            # clients back off and try again; terminal failures stay 500
+            # (a retry would reproduce them).  Either way the structured
+            # record rides along for diagnosis (docs/faults.md).
+            detail = exc.error.to_dict()
+            if exc.retryable:
+                retry_after = service._retry_after()
+                self._send_json(
+                    503,
+                    {
+                        "error": str(exc),
+                        "error_detail": detail,
+                        "retry_after_s": retry_after,
+                    },
+                    extra_headers={"Retry-After": f"{retry_after:.3f}"},
+                )
+            else:
+                self._send_json(500, {"error": str(exc), "error_detail": detail})
         except ProtocolError as exc:
             # Raised while resolving the matrix inside the worker path.
             self._send_json(400, {"error": str(exc)})

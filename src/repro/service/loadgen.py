@@ -11,6 +11,13 @@ that populates the plan store and a warm pass that must be served from
 it -- and reads ``GET /stats`` around each pass so the report can state
 the store hit rate and verify the server's counters reconcile with the
 client's totals.
+
+Chaos mode (``hottiles loadgen --chaos``, docs/faults.md): a seeded
+:class:`~repro.faults.chaos.ChaosConfig` perturbs a fraction of requests
+before they are sent.  An injected request that settles in one of its
+*expected* statuses (e.g. ``504`` for an injected timeout, ``400`` for a
+deliberately malformed body) is counted as *absorbed*, not failed -- the
+fault handling worked; only an unexpected status is a failure.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import urllib.request
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.faults.chaos import ChaosConfig
 from repro.service.metrics import Histogram
 
 __all__ = [
@@ -66,6 +74,8 @@ class LoadgenPass:
     store_hits_delta: int = 0
     store_gets_delta: int = 0
     errors: List[str] = field(default_factory=list)
+    chaos_injected: Dict[str, int] = field(default_factory=dict)  #: per fault kind
+    chaos_absorbed: int = 0  #: injected requests that settled as expected
 
     @property
     def throughput_rps(self) -> float:
@@ -88,6 +98,15 @@ class LoadgenPass:
             f"p99 {p['p99'] * 1e3:.1f} ms",
             f"  served: {served or '-'}; plan-store hit rate {self.store_hit_rate:.0%}",
         ]
+        if self.chaos_injected:
+            kinds = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.chaos_injected.items())
+            )
+            total = sum(self.chaos_injected.values())
+            lines.append(
+                f"  chaos: {total} injected ({kinds}), "
+                f"{self.chaos_absorbed} absorbed as expected"
+            )
         for err in self.errors[:5]:
             lines.append(f"  error: {err}")
         return "\n".join(lines)
@@ -110,6 +129,7 @@ class LoadgenReport:
             counters.get("requests_completed", 0)
             + counters.get("requests_failed", 0)
             + counters.get("requests_timeout", 0)
+            + counters.get("requests_degraded", 0)
         )
         return accepted == settled
 
@@ -119,20 +139,22 @@ class LoadgenReport:
         lines.append(
             "server: accepted={requests_accepted} completed={requests_completed} "
             "failed={requests_failed} timeout={requests_timeout} "
-            "rejected={requests_rejected} coalesced={requests_coalesced} "
-            "computed={plans_computed}".format(
+            "degraded={requests_degraded} rejected={requests_rejected} "
+            "coalesced={requests_coalesced} computed={plans_computed} "
+            "retried={plans_retried}".format(
                 **{
                     k: counters.get(k, 0)
                     for k in (
                         "requests_accepted", "requests_completed", "requests_failed",
-                        "requests_timeout", "requests_rejected",
-                        "requests_coalesced", "plans_computed",
+                        "requests_timeout", "requests_degraded", "requests_rejected",
+                        "requests_coalesced", "plans_computed", "plans_retried",
                     )
                 }
             )
         )
         lines.append(
-            "counters reconcile (accepted = completed + failed + timeout): "
+            "counters reconcile "
+            "(accepted = completed + failed + timeout + degraded): "
             + ("yes" if self.reconciles() else "NO")
         )
         return "\n".join(lines)
@@ -179,6 +201,7 @@ def run_pass(
     name: str = "pass",
     max_retries: int = 64,
     request_timeout_s: float = 120.0,
+    chaos: Optional[ChaosConfig] = None,
 ) -> LoadgenPass:
     """One closed-loop pass of ``requests`` total requests."""
     if requests < 1 or concurrency < 1:
@@ -197,13 +220,24 @@ def run_pass(
             return i
 
     def record(outcome: str, latency_s: float, served: Optional[str],
-               retries: int, error: Optional[str]) -> None:
+               retries: int, error: Optional[str],
+               chaos_kind: Optional[str] = None) -> None:
         with counter_lock:
+            if chaos_kind is not None:
+                result.chaos_injected[chaos_kind] = (
+                    result.chaos_injected.get(chaos_kind, 0) + 1
+                )
             if outcome == "ok":
                 result.completed += 1
                 result.latency.observe(latency_s)
                 if served:
                     result.served[served] = result.served.get(served, 0) + 1
+                if chaos_kind is not None:
+                    result.chaos_absorbed += 1
+            elif outcome == "chaos":
+                # An injected fault answered with an expected status: the
+                # service's fault handling worked, so not a failure.
+                result.chaos_absorbed += 1
             else:
                 result.failed += 1
                 if error and len(result.errors) < 32:
@@ -216,6 +250,12 @@ def run_pass(
             if i is None:
                 return
             payload = payloads[i % len(payloads)]
+            decision = None
+            if chaos is not None:
+                with counter_lock:  # the seeded RNG is shared across clients
+                    decision = chaos.decide(payload)
+                payload = decision.payload
+            kind = decision.kind if decision is not None else None
             retries = 0
             start = time.monotonic()
             while True:
@@ -224,7 +264,8 @@ def run_pass(
                         url, payload, timeout_s=request_timeout_s
                     )
                 except (urllib.error.URLError, OSError, TimeoutError) as exc:
-                    record("failed", 0.0, None, retries, f"transport: {exc}")
+                    record("failed", 0.0, None, retries, f"transport: {exc}",
+                           chaos_kind=kind)
                     break
                 if status == 200:
                     record(
@@ -233,20 +274,30 @@ def run_pass(
                         body.get("served"),
                         retries,
                         None,
+                        chaos_kind=kind,
                     )
                     break
-                if status == 429 and retries < max_retries:
+                retry_after = headers.get("Retry-After")
+                if (
+                    retries < max_retries
+                    and (status == 429 or (status == 503 and retry_after))
+                ):
+                    # Backpressure (429) and retryable plan failures
+                    # (503 + Retry-After) are both invitations to retry.
                     retries += 1
-                    retry_after = headers.get("Retry-After")
                     try:
                         delay = float(retry_after) if retry_after else 0.05
                     except ValueError:
                         delay = 0.05
                     time.sleep(min(delay, 1.0))
                     continue
+                if decision is not None and decision.injected and decision.expects(status):
+                    record("chaos", 0.0, None, retries, None, chaos_kind=kind)
+                    break
                 record(
                     "failed", 0.0, None, retries,
                     f"HTTP {status}: {body.get('error', body)}",
+                    chaos_kind=kind,
                 )
                 break
 
@@ -282,8 +333,13 @@ def run_loadgen(
     plans: int = 4,
     passes: int = 2,
     max_retries: int = 64,
+    chaos: Optional[ChaosConfig] = None,
 ) -> LoadgenReport:
-    """The standard cold-then-warm workload against a running server."""
+    """The standard cold-then-warm workload against a running server.
+
+    With ``chaos``, every pass shares the one seeded config, so the
+    whole run's injection sequence is reproducible from its seed.
+    """
     payloads = default_request_payloads(plans)
     names = ["cold"] + [f"warm{i if passes > 2 else ''}" for i in range(1, passes)]
     results = [
@@ -294,6 +350,7 @@ def run_loadgen(
             concurrency=concurrency,
             name=names[i],
             max_retries=max_retries,
+            chaos=chaos,
         )
         for i in range(passes)
     ]

@@ -20,25 +20,44 @@ are the right grain here: one plan is milliseconds-to-seconds of
 numpy-heavy work that releases the GIL in its hot loops, and the store
 and coalescing map are cheap to share in-process.
 
+Failure handling (docs/faults.md): a worker-side exception is captured
+as a typed :class:`~repro.faults.errors.StructuredError` (exception
+type, message, traceback tail, retryable flag) instead of a flattened
+string.  *Retryable* failures (timeouts, connection-shaped OS errors,
+:class:`~repro.faults.errors.RetryableError`) are retried in the worker
+under a bounded exponential-backoff-with-jitter
+:class:`~repro.faults.retry.RetryPolicy` before the error is surfaced;
+*terminal* failures surface immediately.  The most recent failures are
+kept in a ring exposed as ``last_errors`` in :meth:`PlanService.stats`.
+With ``degraded_fallback=True``, a request whose wait bound elapses
+receives a roofline-only fallback plan (label ``roofline-*``) instead of
+a :class:`PlanTimeout` -- graceful degradation for callers that prefer a
+coarse answer over none.
+
 Counter semantics (the reconciliation the load generator checks):
 
 - every arriving request ends in exactly one of ``requests_rejected``,
-  ``requests_timeout``, ``requests_failed``, or ``requests_completed``;
+  ``requests_timeout``, ``requests_failed``, ``requests_degraded``, or
+  ``requests_completed``;
 - ``requests_accepted`` counts everything admitted past backpressure
   (store hits, coalesced joins, and new computations), so after a drain
-  ``accepted == completed + failed + timeout``;
+  ``accepted == completed + failed + timeout + degraded``;
 - ``requests_coalesced`` is informational (a subset of ``accepted``);
 - ``plans_computed`` / ``plans_cancelled`` count unique computations,
-  not requests.
+  not requests; ``plans_retried`` counts retry attempts after
+  retryable failures (also not requests).
 """
 
 from __future__ import annotations
 
+import collections
 import queue
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Deque, Dict, Optional, Tuple
 
+from repro.faults.errors import StructuredError, is_retryable
+from repro.faults.retry import RetryPolicy
 from repro.obs.tracer import get_tracer
 from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import PlanRequest, PlanResult
@@ -72,7 +91,20 @@ class PlanTimeout(TimeoutError):
 
 
 class PlanFailed(RuntimeError):
-    """The plan computation raised; carries the worker-side error text."""
+    """The plan computation raised; carries the structured worker error.
+
+    ``error`` is the :class:`~repro.faults.errors.StructuredError`
+    record (type, message, traceback tail, retryable flag); ``str(exc)``
+    stays the ``"Type: message"`` form earlier callers parsed.
+    """
+
+    def __init__(self, error: StructuredError) -> None:
+        super().__init__(str(error))
+        self.error = error
+
+    @property
+    def retryable(self) -> bool:
+        return self.error.retryable
 
 
 class ServiceClosed(RuntimeError):
@@ -90,7 +122,7 @@ class _Inflight:
         self.request = request
         self.event = threading.Event()
         self.result: Optional[PlanResult] = None
-        self.error: Optional[str] = None
+        self.error: Optional[StructuredError] = None
         self.waiters = 1
         self.started = False
         self.cancelled = False
@@ -110,6 +142,9 @@ class PlanService:
         queue_depth: int = 16,
         default_timeout_s: float = 60.0,
         metrics: Optional[MetricsRegistry] = None,
+        retry: Optional[RetryPolicy] = None,
+        degraded_fallback: bool = False,
+        error_ring: int = 16,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -120,7 +155,11 @@ class PlanService:
         self.queue_depth = int(queue_depth)
         self.default_timeout_s = float(default_timeout_s)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.degraded_fallback = bool(degraded_fallback)
         self.started_unix = time.time()
+        self._retry_rng = self.retry.rng()
+        self._errors: Deque[Dict[str, Any]] = collections.deque(maxlen=error_ring)
 
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth)
         self._inflight: Dict[str, _Inflight] = {}
@@ -135,8 +174,10 @@ class PlanService:
         self._completed = m.counter("requests_completed")
         self._failed = m.counter("requests_failed")
         self._timeout = m.counter("requests_timeout")
+        self._degraded = m.counter("requests_degraded")
         self._computed = m.counter("plans_computed")
         self._cancelled = m.counter("plans_cancelled")
+        self._retried = m.counter("plans_retried")
         self._queue_gauge = m.gauge("queue_depth")
         self._inflight_gauge = m.gauge("plans_in_flight")
         self._latency = m.histogram("request_latency_s")
@@ -162,7 +203,9 @@ class PlanService:
 
         Returns ``(result, served)`` where ``served`` is ``"store"``
         (warm hit), ``"computed"`` (this request triggered the
-        computation), or ``"coalesced"`` (joined an in-flight one).
+        computation), ``"coalesced"`` (joined an in-flight one), or
+        ``"degraded"`` (wait bound elapsed and ``degraded_fallback``
+        produced a roofline-only plan).
 
         Raises :class:`ServiceClosed`, :class:`AdmissionRejected`,
         :class:`PlanTimeout`, :class:`PlanFailed`, or
@@ -170,8 +213,9 @@ class PlanService:
 
         Every call emits exactly one ``service.request`` span on the
         global tracer, annotated with the request digest and its final
-        outcome (``store`` / ``computed`` / ``coalesced`` / ``rejected``
-        / ``timeout`` / ``failed`` / ``closed``) -- the invariant the
+        outcome (``store`` / ``computed`` / ``coalesced`` / ``degraded``
+        / ``rejected`` / ``timeout`` / ``failed`` / ``closed``) -- the
+        invariant the
         tracing concurrency test reconciles against the counters above.
         """
         with get_tracer().span("service.request", cat="service") as req_span:
@@ -244,6 +288,12 @@ class PlanService:
                 entry.waiters -= 1
                 if entry.waiters <= 0 and not entry.started:
                     entry.cancelled = True
+            if self.degraded_fallback:
+                fallback = self._degraded_plan(request, digest, tracer)
+                if fallback is not None:
+                    self._degraded.inc()
+                    self._latency.observe(time.monotonic() - start)
+                    return fallback, "degraded"
             self._timeout.inc()
             raise PlanTimeout(digest, timeout_s)
         if entry.error is not None:
@@ -273,6 +323,73 @@ class PlanService:
         p50 = self._plan_wall.percentile(50)
         return max(0.05, min(p50 if p50 > 0 else 0.1, 5.0))
 
+    def _degraded_plan(
+        self, request: PlanRequest, digest: str, tracer: Any
+    ) -> Optional[PlanResult]:
+        """Roofline-only fallback for a request whose wait bound elapsed.
+
+        Skips the scan/partition/format-generation pipeline entirely:
+        resolve the matrix, predict the whole-matrix runtime of each
+        worker group with the holistic roofline (PCIe-capped bandwidth
+        for the hot group, as in the IUnaware baseline), and answer with
+        the faster group's homogeneous plan.  The result is *not*
+        published to the store -- it is a coarse stopgap, not the real
+        plan (docs/faults.md).  Returns ``None`` if even the fallback
+        fails, in which case the caller falls through to PlanTimeout.
+        """
+        from repro.core.roofline import roofline_estimate
+
+        start = time.monotonic()
+        try:
+            with tracer.span("service.degraded", cat="service", digest=digest[:12]):
+                matrix = request.resolve_matrix()
+                arch = request.build_architecture()
+                bw = arch.mem_bw_bytes_per_sec
+                hot_bw = bw
+                if arch.pcie_bw_bytes_per_sec is not None:
+                    hot_bw = min(hot_bw, arch.pcie_bw_bytes_per_sec)
+                candidates = []
+                if arch.hot.count > 0:
+                    th = roofline_estimate(
+                        matrix, arch.hot.traits, arch.problem, hot_bw
+                    ).time_s
+                    candidates.append((th / arch.hot.count, "roofline-hot-only", 1.0))
+                if arch.cold.count > 0:
+                    tc = roofline_estimate(
+                        matrix, arch.cold.traits, arch.problem, bw
+                    ).time_s
+                    candidates.append((tc / arch.cold.count, "roofline-cold-only", 0.0))
+                predicted_s, label, hot_frac = min(candidates)
+                return PlanResult(
+                    digest=digest,
+                    arch=request.arch,
+                    scale=request.scale,
+                    cache_aware=request.cache_aware,
+                    n_rows=matrix.n_rows,
+                    n_cols=matrix.n_cols,
+                    nnz=matrix.nnz,
+                    label=label,
+                    mode="parallel",
+                    n_tiles=0,
+                    hot_tiles=0,
+                    hot_nnz_fraction=hot_frac,
+                    predicted_time_s=predicted_s,
+                    scan_s=0.0,
+                    partition_s=0.0,
+                    format_generation_s=0.0,
+                    plan_wall_s=time.monotonic() - start,
+                    artifacts=(),
+                    created_unix=time.time(),
+                )
+        except Exception as exc:  # noqa: BLE001 -- fallback is best-effort
+            tracer.event(
+                "service.degraded_failed",
+                cat="service",
+                digest=digest[:12],
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return None
+
     # ------------------------------------------------------------------
     # The worker side
     # ------------------------------------------------------------------
@@ -286,7 +403,11 @@ class PlanService:
             with self._lock:
                 if item.cancelled or self._discard:
                     self._inflight.pop(item.digest, None)
-                    item.error = "cancelled before execution"
+                    item.error = StructuredError(
+                        type="Cancelled",
+                        message="cancelled before execution",
+                        retryable=True,
+                    )
                     item.event.set()
                     self._cancelled.inc()
                     tracer.event(
@@ -311,12 +432,10 @@ class PlanService:
             self._inflight_gauge.inc()
             start = time.monotonic()
             try:
-                with tracer.span(
-                    "service.compute", cat="service", digest=item.digest[:12]
-                ):
-                    item.result = self._compute(item.request, item.digest)
+                item.result = self._compute_with_retry(item)
             except Exception as exc:  # noqa: BLE001 -- surfaced to every waiter
-                item.error = f"{type(exc).__name__}: {exc}"
+                item.error = StructuredError.from_exception(exc)
+                self._record_error(item.digest, item.error)
             finally:
                 wall = time.monotonic() - start
                 with self._lock:
@@ -325,6 +444,50 @@ class PlanService:
                 self._inflight_gauge.dec()
                 self._computed.inc()
                 self._plan_wall.observe(wall)
+
+    def _compute_with_retry(self, item: _Inflight) -> PlanResult:
+        """Run one computation under the bounded-backoff retry policy.
+
+        Only *retryable* failures are retried, and only while the
+        service is open; the exception that finally escapes is the
+        underlying one (not a wrapper), so the ``StructuredError`` the
+        waiters receive names the real fault.
+        """
+        tracer = get_tracer()
+        policy = self.retry
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                with tracer.span(
+                    "service.compute", cat="service", digest=item.digest[:12]
+                ):
+                    return self._compute(item.request, item.digest)
+            except Exception as exc:  # noqa: BLE001 -- classified below
+                if (
+                    not is_retryable(exc)
+                    or attempt == policy.max_attempts
+                    or self._closed
+                ):
+                    raise
+                self._retried.inc()
+                tracer.event(
+                    "service.retry",
+                    cat="service",
+                    digest=item.digest[:12],
+                    attempt=attempt,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                with self._lock:
+                    delay = policy.delay_s(attempt, self._retry_rng)
+                time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _record_error(self, digest: str, error: StructuredError) -> None:
+        """Append one failure to the ``last_errors`` ring (``/stats``)."""
+        record = dict(error.to_dict())
+        record["digest"] = digest[:12]
+        record["unix"] = time.time()
+        with self._lock:
+            self._errors.append(record)
 
     def _compute(self, request: PlanRequest, digest: str) -> PlanResult:
         """Resolve, preprocess, persist -- the whole Sec. VI-B pipeline."""
@@ -368,7 +531,11 @@ class PlanService:
             "workers": self.workers,
             "queue_depth": self.queue_depth,
             "default_timeout_s": self.default_timeout_s,
+            "degraded_fallback": self.degraded_fallback,
+            "retry_max_attempts": self.retry.max_attempts,
         }
+        with self._lock:
+            snapshot["last_errors"] = list(self._errors)
         snapshot["closed"] = self._closed
         return snapshot
 

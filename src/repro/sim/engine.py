@@ -18,7 +18,7 @@ to completion, then the cold group, sharing one output buffer (no merge).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from repro.obs.tracer import SIM, Tracer, get_tracer
 from repro.sim.memory import RateAllocator
 from repro.sim.worker_sim import InstancePlan, build_plans
 from repro.sparse.tiling import TiledMatrix
+
+if TYPE_CHECKING:  # pragma: no cover -- import cycle guard for annotations
+    from repro.faults.schedule import FaultSchedule, FaultSummary
 
 __all__ = ["GroupStats", "SimResult", "simulate", "simulate_homogeneous"]
 
@@ -77,6 +80,10 @@ class SimResult:
     #: piecewise-constant aggregate memory draw: (interval end time s,
     #: bytes/s during the interval), merge pass included.
     bandwidth_profile: Tuple[Tuple[float, float], ...] = ()
+    #: fault-injection summary of a degraded-mode run (docs/faults.md);
+    #: ``None`` for every fault-free execution, so clean results compare
+    #: bit-identically to the frozen reference.
+    faults: Optional["FaultSummary"] = None
 
     @property
     def bytes_total(self) -> float:
@@ -98,6 +105,7 @@ def simulate(
     assignment: np.ndarray,
     mode: ExecutionMode = ExecutionMode.PARALLEL,
     untiled_block_rows: Optional[int] = None,
+    faults: Optional["FaultSchedule"] = None,
 ) -> SimResult:
     """Simulate one execution of ``tiled`` under ``assignment``.
 
@@ -106,7 +114,20 @@ def simulate(
     when both produced output on a non-atomic architecture; in serial mode
     the groups run back to back with no merge.  ``untiled_block_rows``
     overrides the row-block scheduling granularity of untiled workers.
+
+    A non-empty ``faults`` schedule switches to the degraded-mode engine
+    (:mod:`repro.sim.faulted`): slowdowns, failures with work
+    reassignment, and bandwidth-degradation windows, summarized on
+    ``SimResult.faults``.  An empty or ``None`` schedule takes this
+    unmodified path, whose results stay bit-identical to
+    :mod:`repro.sim._reference`.
     """
+    if faults is not None and not faults.empty:
+        from repro.sim.faulted import simulate_faulted
+
+        return simulate_faulted(
+            arch, tiled, assignment, mode, untiled_block_rows, faults
+        )
     tracer = get_tracer()
     tracer = tracer if tracer.enabled else None
     with (tracer if tracer is not None else _DISABLED).span(

@@ -1,0 +1,75 @@
+"""Property tests for ``clamp_hot_tile_count``: the IUnaware baseline must
+never collapse to an empty hot or cold set for an interior fraction.
+
+Regression: ``round(0.5 * n)`` uses banker's rounding, so e.g. frac=0.5 with
+n=1 rounded to 0 hot tiles and the "heterogeneity-unaware" baseline silently
+became cold-only.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.baselines import clamp_hot_tile_count, iunaware_assignment
+
+
+class TestEdges:
+    def test_zero_or_negative_fraction_gives_zero(self):
+        assert clamp_hot_tile_count(0.0, 100) == 0
+        assert clamp_hot_tile_count(-0.5, 100) == 0
+
+    def test_full_fraction_gives_all(self):
+        assert clamp_hot_tile_count(1.0, 100) == 100
+        assert clamp_hot_tile_count(1.5, 100) == 100
+
+    def test_empty_tiling(self):
+        assert clamp_hot_tile_count(0.5, 0) == 0
+
+    def test_single_tile_rounds_half_up(self):
+        assert clamp_hot_tile_count(0.5, 1) == 1
+        assert clamp_hot_tile_count(0.49, 1) == 0
+
+    def test_bankers_rounding_regression(self):
+        # round(0.5 * 1) == 0 under banker's rounding; the clamp keeps one.
+        assert clamp_hot_tile_count(0.5, 1) == 1
+        # Tiny interior fractions keep at least one hot tile...
+        assert clamp_hot_tile_count(1e-6, 8) == 1
+        # ...and near-one interior fractions keep at least one cold tile.
+        assert clamp_hot_tile_count(1.0 - 1e-6, 8) == 7
+
+
+@given(
+    frac=st.floats(min_value=1e-9, max_value=1.0, exclude_max=True),
+    n=st.integers(min_value=2, max_value=10_000),
+)
+def test_interior_fraction_keeps_both_sets_nonempty(frac, n):
+    count = clamp_hot_tile_count(frac, n)
+    assert 1 <= count <= n - 1
+
+
+@given(
+    frac=st.floats(min_value=0.0, max_value=1.0),
+    n=st.integers(min_value=0, max_value=1_000),
+)
+def test_count_in_range_and_monotone_in_fraction(frac, n):
+    count = clamp_hot_tile_count(frac, n)
+    assert 0 <= count <= n
+    assert clamp_hot_tile_count(min(frac + 0.1, 1.0), n) >= count
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_iunaware_assignment_matches_clamp(seed):
+    from repro.arch.configs import spade_sextans
+    from repro.sparse import generators
+    from repro.sparse.tiling import TiledMatrix
+
+    arch = spade_sextans(4)
+    matrix = generators.rmat(scale=9, nnz=3_000, seed=seed)
+    tiled = TiledMatrix(matrix, arch.tile_height, arch.tile_width)
+    decision = iunaware_assignment(tiled, arch, seed=seed)
+    n = tiled.n_tiles
+    n_hot = int(decision.assignment.sum())
+    assert n_hot == clamp_hot_tile_count(decision.frac_tile_hot, n)
+    # Eq. 1 gives a strictly interior fraction here, so neither side is empty.
+    assert 0.0 < decision.frac_tile_hot < 1.0
+    assert 1 <= n_hot <= n - 1

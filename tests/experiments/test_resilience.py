@@ -1,0 +1,63 @@
+"""Resilience sweep: every conftest matrix x architecture completes with a
+finite makespan inflation at every fault rate (ISSUE acceptance criterion).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.resilience import (
+    DEFAULT_ARCHES,
+    ResilienceResult,
+    resilience_sweep,
+)
+
+MATRIX_FIXTURES = ["tiny_matrix", "small_rmat", "small_uniform", "small_banded"]
+RATES = (0.0, 1.0)
+
+
+@pytest.mark.parametrize("fixture", MATRIX_FIXTURES)
+def test_sweep_finite_across_matrix_corpus(fixture, request):
+    matrix = request.getfixturevalue(fixture)
+    result = resilience_sweep(matrix, rates=RATES, seed=0, label=fixture)
+    assert isinstance(result, ResilienceResult)
+    assert result.all_finite()
+    assert len(result.rows) == len(DEFAULT_ARCHES) * len(RATES)
+    for row in result.rows:
+        assert row.base_ms > 0
+        assert row.faulted_ms > 0
+        if row.rate == 0.0:
+            # Empty schedule -> the clean, bit-identical path.
+            assert row.events == 0
+            assert row.inflation == 1.0
+        else:
+            assert row.inflation >= 1.0
+
+
+def test_rate_zero_rows_are_exactly_clean(small_rmat):
+    result = resilience_sweep(small_rmat, rates=(0.0,), seed=3)
+    assert result.max_inflation() == 1.0
+    assert all(row.failures == 0 for row in result.rows)
+
+
+def test_render_and_json_roundtrip(small_rmat, tmp_path):
+    result = resilience_sweep(
+        small_rmat, arches=("spade-sextans",), rates=RATES, seed=1, label="rmat"
+    )
+    rendered = result.render()
+    assert "spade-sextans" in rendered
+    assert "inflation" in rendered
+
+    path = str(tmp_path / "resilience.json")
+    result.save_json(path)
+    with open(path) as fh:
+        payload = json.load(fh)
+    assert payload["matrix"] == "rmat"
+    assert len(payload["rows"]) == len(RATES)
+    assert payload == result.to_dict()
+
+
+def test_seeded_sweep_is_deterministic(small_uniform):
+    a = resilience_sweep(small_uniform, arches=("piuma",), rates=(2.0,), seed=5)
+    b = resilience_sweep(small_uniform, arches=("piuma",), rates=(2.0,), seed=5)
+    assert a.to_dict() == b.to_dict()

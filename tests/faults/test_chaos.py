@@ -1,0 +1,83 @@
+"""Chaos config: seeded injection decisions and outcome expectations."""
+
+import pytest
+
+from repro.faults.chaos import CHAOS_KINDS, ChaosConfig, ChaosDecision
+
+
+def payload():
+    return {"arch": "spade-sextans", "generator": {"kind": "rmat", "scale": 8}}
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("rate", [-0.1, 1.1])
+    def test_rate_range(self, rate):
+        with pytest.raises(ValueError):
+            ChaosConfig(rate=rate)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(kinds=("earthquake",))
+
+    def test_empty_kinds(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(kinds=())
+
+    def test_known_kinds_cover_timeout_and_malformed(self):
+        assert set(CHAOS_KINDS) == {"timeout", "malformed"}
+
+
+class TestDecide:
+    def test_rate_zero_never_injects(self):
+        config = ChaosConfig(rate=0.0, seed=0)
+        for _ in range(50):
+            decision = config.decide(payload())
+            assert not decision.injected
+            assert decision.payload == payload()
+
+    def test_rate_one_always_injects(self):
+        config = ChaosConfig(rate=1.0, seed=0, kinds=("timeout",))
+        for _ in range(20):
+            assert config.decide(payload()).kind == "timeout"
+
+    def test_seeded_sequences_reproduce(self):
+        a = ChaosConfig(rate=0.5, seed=9, kinds=("timeout", "malformed"))
+        b = ChaosConfig(rate=0.5, seed=9, kinds=("timeout", "malformed"))
+        seq_a = [a.decide(payload()).kind for _ in range(40)]
+        seq_b = [b.decide(payload()).kind for _ in range(40)]
+        assert seq_a == seq_b
+        assert any(k is not None for k in seq_a)
+        assert any(k is None for k in seq_a)
+
+    def test_timeout_mutation_shrinks_timeout_only(self):
+        decision = ChaosConfig(rate=1.0, kinds=("timeout",)).decide(payload())
+        assert 0 < decision.payload["timeout_s"] < 0.05
+        assert decision.payload["generator"] == payload()["generator"]
+
+    def test_malformed_mutation_corrupts_generator(self):
+        decision = ChaosConfig(rate=1.0, kinds=("malformed",)).decide(payload())
+        assert "chaos_bogus_param" in decision.payload["generator"]
+
+    def test_original_payload_untouched(self):
+        original = payload()
+        ChaosConfig(rate=1.0, kinds=("malformed",)).decide(original)
+        assert original == payload()
+
+
+class TestExpectations:
+    def test_timeout_accepts_success_shed_and_backpressure(self):
+        decision = ChaosDecision(kind="timeout", payload={})
+        assert decision.expects(200)
+        assert decision.expects(504)
+        assert decision.expects(429)
+        assert not decision.expects(500)
+
+    def test_malformed_expects_bad_request_only(self):
+        decision = ChaosDecision(kind="malformed", payload={})
+        assert decision.expects(400)
+        assert not decision.expects(200)
+
+    def test_untouched_expects_success(self):
+        decision = ChaosDecision(kind=None, payload={})
+        assert not decision.injected
+        assert decision.expects(200) and not decision.expects(504)

@@ -1,0 +1,199 @@
+"""FaultSchedule construction, validation, serialization, generation."""
+
+import pytest
+
+from repro.faults.errors import FaultScheduleError
+from repro.faults.schedule import (
+    BandwidthWindow,
+    FaultSchedule,
+    FaultSummary,
+    WorkerFailure,
+    WorkerSlowdown,
+)
+
+
+def sample_events():
+    return [
+        WorkerSlowdown(t_s=0.5, kind="hot", index=0, factor=2.0),
+        WorkerFailure(t_s=0.25, kind="cold", index=1),
+        BandwidthWindow(t_start_s=0.1, t_end_s=0.9, factor=0.5),
+    ]
+
+
+class TestConstruction:
+    def test_events_sorted_by_time(self):
+        schedule = FaultSchedule(sample_events())
+        times = [
+            e.t_start_s if isinstance(e, BandwidthWindow) else e.t_s
+            for e in schedule.events
+        ]
+        assert times == sorted(times)
+
+    def test_empty_len_bool(self):
+        empty = FaultSchedule()
+        assert empty.empty and len(empty) == 0 and not empty
+        full = FaultSchedule(sample_events())
+        assert not full.empty and len(full) == 3 and full
+
+    def test_equality_and_hash_order_insensitive(self):
+        a = FaultSchedule(sample_events())
+        b = FaultSchedule(list(reversed(sample_events())))
+        assert a == b and hash(a) == hash(b)
+        assert a != FaultSchedule()
+
+    def test_immutable(self):
+        schedule = FaultSchedule()
+        with pytest.raises(AttributeError):
+            schedule.events = ()
+
+    def test_rejects_non_event(self):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule([object()])
+
+    def test_failures_for(self):
+        schedule = FaultSchedule(sample_events())
+        assert [e.index for e in schedule.failures_for("cold")] == [1]
+        assert schedule.failures_for("hot") == []
+
+
+class TestValidation:
+    @pytest.mark.parametrize("factor", [0.0, 0.5, float("nan"), float("inf")])
+    def test_slowdown_factor_must_be_finite_ge_one(self, factor):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule([WorkerSlowdown(t_s=0.0, kind="hot", index=0, factor=factor)])
+
+    def test_bad_kind(self):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule([WorkerFailure(t_s=0.0, kind="warm", index=0)])
+
+    @pytest.mark.parametrize("index", [-1, True, 1.5])
+    def test_bad_index(self, index):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule([WorkerFailure(t_s=0.0, kind="hot", index=index)])
+
+    def test_negative_time(self):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule([WorkerFailure(t_s=-1.0, kind="hot", index=0)])
+
+    @pytest.mark.parametrize(
+        "start,end,factor",
+        [(0.5, 0.5, 0.5), (0.9, 0.1, 0.5), (0.1, 0.9, 0.0), (0.1, 0.9, 1.5)],
+    )
+    def test_bad_bandwidth_window(self, start, end, factor):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule(
+                [BandwidthWindow(t_start_s=start, t_end_s=end, factor=factor)]
+            )
+
+    def test_validate_against_architecture_counts(self):
+        schedule = FaultSchedule([WorkerFailure(t_s=0.0, kind="cold", index=3)])
+        schedule.validate_against(hot_count=1, cold_count=4)  # fits
+        with pytest.raises(FaultScheduleError):
+            schedule.validate_against(hot_count=1, cold_count=3)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        schedule = FaultSchedule(sample_events())
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_file_roundtrip(self, tmp_path):
+        schedule = FaultSchedule(sample_events())
+        path = str(tmp_path / "faults.json")
+        schedule.save(path)
+        assert FaultSchedule.load(path) == schedule
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule.load(str(path))
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {"events": [{"event": "meteor", "t_s": 0.0}]},
+            {"events": [{"event": "failure", "kind": "hot"}]},  # missing fields
+            {"events": ["not-an-object"]},
+        ],
+    )
+    def test_from_dict_rejects_malformed(self, payload):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule.from_dict(payload)
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        kwargs = dict(
+            horizon_s=1.0,
+            hot_instances=2,
+            cold_instances=4,
+            failure_rate=2.0,
+            slowdown_rate=2.0,
+            bandwidth_rate=2.0,
+        )
+        assert FaultSchedule.random(seed=7, **kwargs) == FaultSchedule.random(
+            seed=7, **kwargs
+        )
+        assert FaultSchedule.random(seed=7, **kwargs) != FaultSchedule.random(
+            seed=8, **kwargs
+        )
+
+    def test_zero_rates_give_empty_schedule(self):
+        schedule = FaultSchedule.random(
+            seed=0, horizon_s=1.0, hot_instances=2, cold_instances=2
+        )
+        assert schedule.empty
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_failures_never_wipe_out_a_group(self, seed):
+        schedule = FaultSchedule.random(
+            seed=seed,
+            horizon_s=1.0,
+            hot_instances=1,
+            cold_instances=3,
+            failure_rate=50.0,
+        )
+        assert len(schedule.failures_for("hot")) == 0  # lone instance spared
+        assert len(schedule.failures_for("cold")) <= 2
+        # No instance dies twice.
+        targets = [(e.kind, e.index) for e in schedule.failures_for("cold")]
+        assert len(targets) == len(set(targets))
+
+    def test_events_within_horizon(self):
+        schedule = FaultSchedule.random(
+            seed=3,
+            horizon_s=2.0,
+            hot_instances=2,
+            cold_instances=4,
+            failure_rate=1.0,
+            slowdown_rate=3.0,
+            bandwidth_rate=1.0,
+        )
+        for event in schedule.events:
+            start = (
+                event.t_start_s if isinstance(event, BandwidthWindow) else event.t_s
+            )
+            assert 0.0 <= start < 2.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule.random(seed=0, horizon_s=0.0, hot_instances=1, cold_instances=1)
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule.random(
+                seed=0, horizon_s=1.0, hot_instances=1, cold_instances=1,
+                failure_rate=-1.0,
+            )
+
+
+class TestSummary:
+    def test_injected_totals(self):
+        summary = FaultSummary(
+            slowdowns=2, failures=1, bandwidth_windows=3, reassigned_phases=5,
+            failed_instances=("cold-1",),
+        )
+        assert summary.injected == 6
+        payload = summary.to_dict()
+        assert payload["failed_instances"] == ["cold-1"]
+        assert payload["reassigned_phases"] == 5

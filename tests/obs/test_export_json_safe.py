@@ -1,0 +1,72 @@
+"""Regression tests for ``_json_safe``: multi-element ndarrays used to fall
+through ``.item()`` (which raises for size > 1) and export a truncated
+``str(...)`` repr instead of their elements.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.export import _MAX_ARRAY_ELEMENTS, _json_safe, chrome_trace
+from repro.obs.tracer import Tracer
+
+
+class TestArrays:
+    def test_multi_element_array_exports_elements(self):
+        out = _json_safe(np.array([1.5, 2.5, 3.5]))
+        assert out == [1.5, 2.5, 3.5]
+        assert all(isinstance(v, float) for v in out)
+
+    def test_integer_array(self):
+        assert _json_safe(np.arange(4, dtype=np.int64)) == [0, 1, 2, 3]
+
+    def test_2d_array_nested_lists(self):
+        assert _json_safe(np.ones((2, 3))) == [[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]]
+
+    def test_size_one_array_and_scalars(self):
+        assert _json_safe(np.array([7.0])) == [7.0]
+        assert _json_safe(np.float64(2.5)) == 2.5
+        assert _json_safe(np.int32(3)) == 3
+        assert _json_safe(np.bool_(True)) is True
+
+    def test_oversized_array_summarized(self):
+        big = np.zeros(_MAX_ARRAY_ELEMENTS + 1)
+        out = _json_safe(big)
+        assert isinstance(out, str)
+        assert f"shape=({_MAX_ARRAY_ELEMENTS + 1},)" in out
+        assert "float64" in out
+
+    def test_boundary_size_still_exports_elements(self):
+        exact = np.zeros(_MAX_ARRAY_ELEMENTS)
+        assert _json_safe(exact) == [0.0] * _MAX_ARRAY_ELEMENTS
+
+
+class TestContainers:
+    def test_nested_dict_with_arrays(self):
+        out = _json_safe({"frac": np.array([0.25, 0.75]), "n": np.int64(2)})
+        assert out == {"frac": [0.25, 0.75], "n": 2}
+        json.dumps(out)  # round-trippable
+
+    def test_tuple_of_arrays(self):
+        out = _json_safe((np.array([1, 2]), "label"))
+        assert out == [[1, 2], "label"]
+
+    def test_opaque_object_falls_back_to_str(self):
+        class Widget:
+            def __repr__(self):
+                return "Widget()"
+
+        assert _json_safe(Widget()) == "Widget()"
+
+
+class TestChromeTraceIntegration:
+    def test_span_with_ndarray_arg_serializes(self):
+        tracer = Tracer()
+        with tracer.span("work", rates=np.array([1.0, 2.0, 4.0])):
+            pass
+        tracer.event("tick", big=np.zeros(1000), small=np.arange(3))
+        payload = chrome_trace(tracer)
+        text = json.dumps(payload)  # must not raise
+        assert "[1.0, 2.0, 4.0]" in text.replace('"', "")
+        assert "ndarray(shape=(1000,)" in text

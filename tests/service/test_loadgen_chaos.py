@@ -1,0 +1,103 @@
+"""Chaos-mode load generator: injected faults are absorbed, not failures."""
+
+import threading
+
+import pytest
+
+from repro.faults.chaos import ChaosConfig
+from repro.service.httpd import make_server
+from repro.service.loadgen import default_request_payloads, run_loadgen, run_pass
+from repro.service.planner import PlanService
+from repro.service.store import PlanStore
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    service = PlanService(
+        store=PlanStore(tmp_path / "plans"),
+        workers=2,
+        queue_depth=8,
+        degraded_fallback=True,
+    )
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}", service
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+class TestChaosPass:
+    def test_timeout_chaos_absorbed_not_failed(self, live_server):
+        base, _service = live_server
+        chaos = ChaosConfig(rate=0.5, seed=3, kinds=("timeout",))
+        result = run_pass(
+            base,
+            default_request_payloads(3),
+            requests=24,
+            concurrency=4,
+            chaos=chaos,
+        )
+        injected = sum(result.chaos_injected.values())
+        assert injected > 0
+        assert result.failed == 0
+        # Every injected request settled in a status the injection expects
+        # (timeout -> 200/429/504); absorbed overlaps completed when the
+        # server still answered 200 despite the tiny client timeout.
+        assert result.chaos_absorbed == injected
+        assert result.completed + result.chaos_absorbed >= 24
+        assert result.completed <= 24
+
+    def test_malformed_chaos_all_rejected_cleanly(self, live_server):
+        base, _service = live_server
+        chaos = ChaosConfig(rate=1.0, seed=0, kinds=("malformed",))
+        result = run_pass(
+            base,
+            default_request_payloads(2),
+            requests=8,
+            concurrency=2,
+            chaos=chaos,
+        )
+        assert result.chaos_injected.get("malformed", 0) == 8
+        assert result.chaos_absorbed == 8
+        assert result.failed == 0
+        assert result.completed == 0
+
+    def test_chaos_rate_zero_is_clean_run(self, live_server):
+        base, _service = live_server
+        chaos = ChaosConfig(rate=0.0, seed=0, kinds=("timeout",))
+        result = run_pass(
+            base,
+            default_request_payloads(2),
+            requests=10,
+            concurrency=2,
+            chaos=chaos,
+        )
+        assert sum(result.chaos_injected.values()) == 0
+        assert result.chaos_absorbed == 0
+        assert result.completed == 10
+        assert result.failed == 0
+
+
+class TestChaosReport:
+    def test_report_renders_and_reconciles(self, live_server):
+        base, service = live_server
+        chaos = ChaosConfig(rate=0.4, seed=7, kinds=("timeout", "malformed"))
+        report = run_loadgen(
+            base, requests=20, concurrency=4, plans=3, passes=2, chaos=chaos
+        )
+        assert report.reconciles()
+        rendered = report.render()
+        assert "chaos" in rendered
+        for result in report.passes:
+            assert result.failed == 0
+        # Server-side accounting still balances under chaos.
+        c = service.stats()["counters"]
+        accounted = (
+            c["requests_completed"]
+            + c["requests_failed"]
+            + c["requests_timeout"]
+            + c["requests_degraded"]
+        )
+        assert c["requests_accepted"] == accounted

@@ -1,0 +1,246 @@
+"""Degraded-mode simulator: fault injection, recovery, and invariants.
+
+Three layers of guarantees from docs/faults.md:
+
+- an empty schedule takes the untouched clean path, bit-identical to the
+  frozen :mod:`repro.sim._reference` oracle (``faults`` stays ``None``),
+- any seeded random schedule still conserves bytes (bandwidth-profile
+  integral == bytes drained + merge pass) and completes with a finite
+  makespan at least the fault-free one,
+- a failure with no same-kind survivor raises a typed
+  :class:`~repro.faults.errors.SimFault` instead of dropping nonzeros.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.configs import piuma, spade_sextans, spade_sextans_pcie
+from repro.core.partition import ExecutionMode
+from repro.faults.errors import SimFault
+from repro.faults.schedule import (
+    BandwidthWindow,
+    FaultSchedule,
+    WorkerFailure,
+    WorkerSlowdown,
+)
+from repro.sim._reference import simulate_reference
+from repro.sim.engine import simulate
+from repro.sparse import generators
+from repro.sparse.tiling import TiledMatrix
+
+ARCH = spade_sextans(4)
+ARCH_PCIE = spade_sextans_pcie(4)
+ARCH_PIUMA = piuma()
+
+
+def _profile_integral(profile):
+    total, prev = 0.0, 0.0
+    for t, bw in profile:
+        total += (t - prev) * bw
+        prev = t
+    return total
+
+
+def _case(arch=ARCH, frac=0.0, seed=0, nnz=4_000):
+    matrix = generators.rmat(scale=9, nnz=nnz, seed=seed)
+    tiled = TiledMatrix(matrix, arch.tile_height, arch.tile_width)
+    rng = np.random.default_rng(seed)
+    assignment = rng.random(tiled.n_tiles) < frac
+    return tiled, assignment
+
+
+class TestEmptyScheduleIsBitIdentical:
+    @pytest.mark.parametrize("arch", [ARCH, ARCH_PCIE, ARCH_PIUMA],
+                             ids=["spade", "pcie", "piuma"])
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_matches_frozen_reference_exactly(self, arch, mode):
+        tiled, assignment = _case(arch, frac=0.4, seed=11)
+        via_empty = simulate(arch, tiled, assignment, mode, faults=FaultSchedule())
+        via_none = simulate(arch, tiled, assignment, mode)
+        reference = simulate_reference(arch, tiled, assignment, mode)
+        for result in (via_empty, via_none):
+            assert result.faults is None
+            assert result.time_s == reference.time_s
+            assert result.merge_time_s == reference.merge_time_s
+            assert result.mode == reference.mode
+            assert result.hot == reference.hot
+            assert result.cold == reference.cold
+            assert result.bandwidth_profile == reference.bandwidth_profile
+        assert via_empty == via_none
+
+
+class TestFailureRecovery:
+    def test_single_failure_reassigns_and_degrades(self):
+        tiled, assignment = _case(frac=0.0)  # everything on the 16 cold workers
+        base = simulate(ARCH, tiled, assignment, ExecutionMode.PARALLEL)
+        schedule = FaultSchedule(
+            [WorkerFailure(t_s=base.time_s * 0.1, kind="cold", index=0)]
+        )
+        result = simulate(
+            ARCH, tiled, assignment, ExecutionMode.PARALLEL, faults=schedule
+        )
+        assert result.faults is not None
+        assert result.faults.failures == 1
+        assert result.faults.failed_instances == ("cold-0",)
+        assert result.faults.reassigned_phases > 0
+        assert result.time_s >= base.time_s
+        assert np.isfinite(result.time_s)
+
+    def test_all_survivors_dead_raises_simfault(self):
+        tiled, assignment = _case(frac=0.0)
+        schedule = FaultSchedule(
+            [WorkerFailure(t_s=1e-9, kind="cold", index=i)
+             for i in range(ARCH.cold.count)]
+        )
+        with pytest.raises(SimFault) as info:
+            simulate(ARCH, tiled, assignment, ExecutionMode.PARALLEL, faults=schedule)
+        assert info.value.kind == "cold"
+        assert info.value.instance.startswith("cold-")
+
+    def test_killing_idle_group_is_harmless(self):
+        # All nonzeros on the hot worker: the cold group has no plans, so
+        # events aimed at it are dropped and can never raise SimFault.
+        tiled, assignment = _case(frac=1.0)
+        assignment[:] = True
+        schedule = FaultSchedule(
+            [WorkerFailure(t_s=1e-9, kind="cold", index=i)
+             for i in range(ARCH.cold.count)]
+        )
+        result = simulate(
+            ARCH, tiled, assignment, ExecutionMode.PARALLEL, faults=schedule
+        )
+        base = simulate(ARCH, tiled, assignment, ExecutionMode.PARALLEL)
+        assert result.faults.failures == 0
+        assert result.faults.reassigned_phases == 0
+        assert result.time_s == base.time_s
+        assert np.isfinite(result.time_s)
+
+    def test_unknown_target_rejected(self):
+        from repro.faults.errors import FaultScheduleError
+
+        tiled, assignment = _case()
+        schedule = FaultSchedule(
+            [WorkerFailure(t_s=0.0, kind="cold", index=ARCH.cold.count)]
+        )
+        with pytest.raises(FaultScheduleError):
+            simulate(ARCH, tiled, assignment, ExecutionMode.PARALLEL, faults=schedule)
+
+
+class TestSlowdownsAndBandwidth:
+    def test_slowdown_inflates_makespan(self):
+        tiled, assignment = _case(frac=0.0)
+        base = simulate(ARCH, tiled, assignment, ExecutionMode.PARALLEL)
+        schedule = FaultSchedule(
+            [WorkerSlowdown(t_s=0.0, kind="cold", index=i, factor=20.0)
+             for i in range(ARCH.cold.count)]
+        )
+        result = simulate(
+            ARCH, tiled, assignment, ExecutionMode.PARALLEL, faults=schedule
+        )
+        assert result.faults.slowdowns == ARCH.cold.count
+        assert result.time_s > base.time_s
+
+    def test_bandwidth_window_inflates_makespan(self):
+        tiled, assignment = _case(frac=0.0)
+        base = simulate(ARCH, tiled, assignment, ExecutionMode.PARALLEL)
+        schedule = FaultSchedule(
+            [BandwidthWindow(t_start_s=0.0, t_end_s=base.time_s * 10, factor=0.25)]
+        )
+        result = simulate(
+            ARCH, tiled, assignment, ExecutionMode.PARALLEL, faults=schedule
+        )
+        assert result.faults.bandwidth_windows == 1
+        assert result.time_s > base.time_s
+
+    def test_serial_mode_fault_during_cold_phase(self):
+        tiled, assignment = _case(frac=0.4, seed=5)
+        base = simulate(ARCH, tiled, assignment, ExecutionMode.SERIAL)
+        # Timed after the hot span, i.e. while the cold group is running.
+        schedule = FaultSchedule(
+            [WorkerFailure(t_s=base.hot.busy_s + base.cold.busy_s * 0.25,
+                           kind="cold", index=2)]
+        )
+        result = simulate(
+            ARCH, tiled, assignment, ExecutionMode.SERIAL, faults=schedule
+        )
+        assert result.faults.failures == 1
+        assert result.merge_time_s == 0.0
+        assert result.time_s >= base.time_s
+        assert np.isfinite(result.time_s)
+
+    def test_deterministic(self):
+        tiled, assignment = _case(frac=0.3, seed=2)
+        schedule = FaultSchedule.random(
+            seed=4, horizon_s=1.0, hot_instances=ARCH.hot.count,
+            cold_instances=ARCH.cold.count,
+            failure_rate=2.0, slowdown_rate=2.0, bandwidth_rate=2.0,
+        )
+        a = simulate(ARCH, tiled, assignment, ExecutionMode.PARALLEL, faults=schedule)
+        b = simulate(ARCH, tiled, assignment, ExecutionMode.PARALLEL, faults=schedule)
+        assert a == b
+
+
+@st.composite
+def faulted_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    nnz = draw(st.integers(min_value=100, max_value=3_000))
+    kind = draw(st.sampled_from(["rmat", "uniform"]))
+    if kind == "rmat":
+        matrix = generators.rmat(scale=8, nnz=nnz, seed=seed)
+    else:
+        matrix = generators.uniform_random(256, 256, nnz, seed=seed)
+    frac = draw(st.floats(min_value=0.0, max_value=1.0))
+    mode = draw(st.sampled_from([ExecutionMode.PARALLEL, ExecutionMode.SERIAL]))
+    arch = draw(st.sampled_from([ARCH, ARCH_PCIE]))
+    failure_rate = draw(st.floats(min_value=0.0, max_value=4.0))
+    slowdown_rate = draw(st.floats(min_value=0.0, max_value=4.0))
+    bandwidth_rate = draw(st.floats(min_value=0.0, max_value=3.0))
+    return matrix, frac, mode, arch, seed, failure_rate, slowdown_rate, bandwidth_rate
+
+
+@settings(max_examples=20, deadline=None)
+@given(case=faulted_cases())
+def test_random_schedules_conserve_bytes_and_complete(case):
+    """Any survivable seeded schedule: finite makespan, exact byte budget."""
+    matrix, frac, mode, arch, seed, f_rate, s_rate, b_rate = case
+    tiled = TiledMatrix(matrix, arch.tile_height, arch.tile_width)
+    rng = np.random.default_rng(seed)
+    assignment = rng.random(tiled.n_tiles) < frac
+
+    base = simulate(arch, tiled, assignment, mode)
+    schedule = FaultSchedule.random(
+        seed=seed,
+        horizon_s=max(base.time_s, 1e-9),
+        hot_instances=arch.hot.count,
+        cold_instances=arch.cold.count,
+        failure_rate=f_rate,
+        slowdown_rate=s_rate,
+        bandwidth_rate=b_rate,
+    )
+    result = simulate(arch, tiled, assignment, mode, faults=schedule)
+
+    if schedule.empty:
+        assert result == base
+        return
+    assert result.faults is not None
+    # Events aimed at idle groups are dropped, so at most the scheduled count
+    # lands; bandwidth windows always land.
+    assert result.faults.injected <= len(schedule)
+    assert result.faults.failures <= len(schedule.failures_for("hot")) + len(
+        schedule.failures_for("cold")
+    )
+    assert np.isfinite(result.time_s) and result.time_s >= 0.0
+    # The slowest instance of each group finishes inside the makespan.
+    assert result.hot.busy_s <= result.time_s + 1e-12
+    assert result.cold.busy_s <= result.time_s + 1e-12
+    # Conservation: every byte the plans carry shows up under the
+    # bandwidth profile exactly once, merge pass included.
+    merge_bytes = result.merge_time_s * arch.mem_bw_bytes_per_sec
+    assert _profile_integral(result.bandwidth_profile) == pytest.approx(
+        result.bytes_total + merge_bytes, rel=1e-9, abs=1e-6
+    )
+    # Reassignment never loses or duplicates nonzero work.
+    assert result.bytes_total == base.bytes_total
+    assert result.hot.nnz + result.cold.nnz == base.hot.nnz + base.cold.nnz
