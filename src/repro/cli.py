@@ -35,6 +35,12 @@ fault schedule and sweep fault intensity::
     hottiles loadgen [--requests 200] [--concurrency 8]
     hottiles loadgen --chaos [--chaos-rate 0.1] [--chaos-kinds timeout]
 
+*Streaming* (docs/streaming.md) -- replay a seeded delta stream and
+check incremental plan repair against from-scratch replanning::
+
+    hottiles delta-replay pap [--steps 5] [--inserts 60] [--deletes 40] \\
+        [--epsilon 0.01] [--json deltas.json]
+
 *Tracing* -- profile one simulated execution end to end (docs/tracing.md)
 and emit a Chrome-trace/Perfetto JSON plus a text flamegraph summary::
 
@@ -100,7 +106,7 @@ _SINGLE_MATRIX = {"fig05"}
 #: Non-experiment subcommands (the experiment ids live in EXPERIMENTS).
 SUBCOMMANDS = (
     "partition", "sweep", "simulate", "resilience", "serve", "loadgen",
-    "cache", "trace", "bench",
+    "delta-replay", "cache", "trace", "bench",
 )
 
 
@@ -123,6 +129,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _serve_command(argv[1:])
     if argv and argv[0] == "loadgen":
         return _loadgen_command(argv[1:])
+    if argv and argv[0] == "delta-replay":
+        return _delta_replay_command(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_command(argv[1:])
     if argv and argv[0] == "trace":
@@ -216,6 +224,7 @@ def _experiment_command(argv: List[str]) -> int:
         print("resilience fault-rate sweep: makespan inflation vs fault-free")
         print("serve      run the HTTP partition-planning service")
         print("loadgen    closed-loop load generator against a running service")
+        print("delta-replay  seeded delta stream: incremental repair vs scratch")
         print("cache      experiment result cache maintenance (stats, clear)")
         print("trace      profile one run into a Chrome-trace/Perfetto JSON")
         return 0
@@ -844,6 +853,98 @@ def _loadgen_command(argv: List[str]) -> int:
     )
     print(report.render())
     return 1 if report.failed or not report.reconciles() else 0
+
+
+def _delta_replay_command(argv: List[str]) -> int:
+    from repro.arch.configs import ARCHITECTURE_FACTORIES
+    from repro.experiments.deltastream import DEFAULT_EPSILON, delta_replay
+    from repro.experiments.matrices import ALL_MATRICES, load_matrix
+    from repro.sparse.mmio import read_matrix_market
+
+    parser = argparse.ArgumentParser(
+        prog="hottiles delta-replay",
+        description="Replay a seeded delta stream and gate incremental plan "
+        "repair against from-scratch replanning (docs/streaming.md)",
+    )
+    parser.add_argument(
+        "matrix",
+        help="benchmark short name (e.g. pap) or path to a MatrixMarket file",
+    )
+    parser.add_argument(
+        "--arch",
+        default="spade-sextans",
+        choices=sorted(ARCHITECTURE_FACTORIES),
+        help="target architecture",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=4, help="system scale (SPADE-Sextans variants)"
+    )
+    parser.add_argument(
+        "--steps", type=int, default=5, help="delta batches to replay (default: 5)"
+    )
+    parser.add_argument(
+        "--inserts", type=int, default=60, help="inserts per batch (default: 60)"
+    )
+    parser.add_argument(
+        "--deletes", type=int, default=40, help="deletes per batch (default: 40)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="delta stream seed")
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=DEFAULT_EPSILON,
+        help="relative predicted-runtime drift allowed between the repaired "
+        f"and from-scratch plan (default: {DEFAULT_EPSILON})",
+    )
+    parser.add_argument(
+        "--insert-region",
+        nargs=4,
+        type=int,
+        default=None,
+        metavar=("ROW_LO", "ROW_HI", "COL_LO", "COL_HI"),
+        help="concentrate inserts in this half-open region (hot-spot churn)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the replay as a JSON report (the CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    matrix = (
+        load_matrix(args.matrix)
+        if args.matrix in ALL_MATRICES
+        else read_matrix_market(args.matrix)
+    )
+    try:
+        result = delta_replay(
+            matrix,
+            arch_name=args.arch,
+            steps=args.steps,
+            inserts=args.inserts,
+            deletes=args.deletes,
+            seed=args.seed,
+            scale=args.scale,
+            epsilon=args.epsilon,
+            insert_region=args.insert_region,
+            label=args.matrix,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(result.render())
+    print(
+        f"max rel err {result.max_rel_err():.2e} (eps {args.epsilon:g}), "
+        f"mean repaired fraction {result.mean_repaired_fraction():.0%}, "
+        f"bit-identical {'yes' if result.all_bit_identical() else 'NO'}"
+    )
+    if args.json:
+        result.save_json(args.json)
+        print(f"report written to {args.json}")
+    if not result.passes():
+        print("delta replay gate FAILED", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cache_command(argv: List[str]) -> int:

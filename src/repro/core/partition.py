@@ -37,7 +37,7 @@ import numpy as np
 from repro.arch.heterogeneous import Architecture
 from repro.core.model import AnalyticalModel, TileCosts
 from repro.core.traits import WorkerKind
-from repro.sparse.tiling import TiledMatrix
+from repro.sparse.tiling import TiledMatrix, TileStats
 
 __all__ = [
     "Heuristic",
@@ -48,6 +48,11 @@ __all__ = [
     "HotTilesPartitioner",
     "first_of_type_masks",
     "exhaustive_partition",
+    "PartitionCache",
+    "RepairStats",
+    "RepairOutcome",
+    "plan_cache_from",
+    "repair_plan",
 ]
 
 
@@ -246,20 +251,7 @@ class HotTilesPartitioner:
         """
         assignment = np.asarray(assignment, dtype=bool)
         totals = self._totals(tiled, assignment, mode)
-        bw = self.arch.mem_bw_bytes_per_sec
-        pcie = self.arch.pcie_bw_bytes_per_sec
-        hot_pcie_time = totals.bh_total / pcie if pcie else 0.0
-        if mode is ExecutionMode.PARALLEL:
-            time_s = max(
-                max(totals.th_total, totals.tc_total),
-                totals.b_total / bw,
-                hot_pcie_time,
-            ) + totals.t_merge
-        else:
-            hot_side = max(totals.th_total, totals.bh_total / bw, hot_pcie_time)
-            cold_side = max(totals.tc_total, totals.bc_total / bw)
-            time_s = hot_side + cold_side
-        return time_s, totals
+        return _runtime_from_totals(self.arch, totals, mode), totals
 
     def predict_homogeneous(self, tiled: TiledMatrix, kind: WorkerKind) -> float:
         """Predicted runtime of a homogeneous execution (Fig. 17 baselines)."""
@@ -410,6 +402,305 @@ def exhaustive_partition(
         assignment=assignment,
         mode=mode,
         predicted_time_s=time_s,
+        totals=totals,
+    )
+
+
+def _runtime_from_totals(
+    arch: Architecture, totals: PredictedTotals, mode: ExecutionMode
+) -> float:
+    """Apply the Fig. 8 final-runtime formulas to readjusted totals."""
+    bw = arch.mem_bw_bytes_per_sec
+    pcie = arch.pcie_bw_bytes_per_sec
+    hot_pcie_time = totals.bh_total / pcie if pcie else 0.0
+    if mode is ExecutionMode.PARALLEL:
+        return max(
+            max(totals.th_total, totals.tc_total),
+            totals.b_total / bw,
+            hot_pcie_time,
+        ) + totals.t_merge
+    hot_side = max(totals.th_total, totals.bh_total / bw, hot_pcie_time)
+    cold_side = max(totals.tc_total, totals.bc_total / bw)
+    return hot_side + cold_side
+
+
+# ----------------------------------------------------------------------
+# Incremental plan repair (streaming deltas)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionCache:
+    """Per-tile model evaluations memoized across delta repairs.
+
+    The analytical model is strictly per-tile: a tile's cost depends only
+    on its own statistics, the matrix shape, and the worker traits, plus a
+    binary "first of its type in the panel" flag.  Caching the two variants
+    (``base`` = maximum-reuse, ``first`` = first-of-type readjusted) for
+    both worker types therefore captures *every* number the partitioner can
+    ever ask about a tile -- the same trick ``exhaustive_partition`` uses,
+    and the dirty-bitmask idiom of ``RateAllocator`` in
+    :mod:`repro.sim.memory`.
+
+    ``tile_keys`` (sorted ``tile_row * n_panel_cols + tile_col``) aligns
+    the arrays with a tiling; ``assignment`` records the hot/cold split
+    chosen for those keys, for downstream consumers that want the previous
+    plan without re-deriving it.
+    """
+
+    tile_keys: np.ndarray
+    hot_base_time: np.ndarray
+    hot_first_time: np.ndarray
+    hot_base_bytes: np.ndarray
+    hot_first_bytes: np.ndarray
+    cold_base_time: np.ndarray
+    cold_first_time: np.ndarray
+    cold_base_bytes: np.ndarray
+    cold_first_bytes: np.ndarray
+    assignment: np.ndarray
+
+    @property
+    def n_tiles(self) -> int:
+        return int(self.tile_keys.shape[0])
+
+
+@dataclass(frozen=True)
+class RepairStats:
+    """How much of a repair was incremental."""
+
+    n_tiles: int  #: tiles in the post-delta tiling
+    tiles_repaired: int  #: tiles whose model costs were recomputed
+    tiles_pinned: int  #: clean tiles served from the cached cost table
+    new_tiles: int  #: tiles absent from the previous tiling
+    dropped_tiles: int  #: previous tiles no longer present
+
+    @property
+    def repaired_fraction(self) -> float:
+        return self.tiles_repaired / self.n_tiles if self.n_tiles else 0.0
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """Everything a repair produces: plan, accounting, and the next cache."""
+
+    result: HotTilesResult
+    stats: RepairStats
+    cache: PartitionCache
+
+
+class _TileSubset:
+    """Duck-typed tiling view over a subset of tiles.
+
+    :meth:`AnalyticalModel.tile_costs` only touches ``stats``,
+    ``tile_height`` / ``tile_width`` and ``matrix`` (shape), so a sliced
+    stats block is enough to cost just the dirty tiles.
+    """
+
+    __slots__ = ("stats", "tile_height", "tile_width", "matrix")
+
+    def __init__(self, tiled: TiledMatrix, idx: np.ndarray) -> None:
+        s = tiled.stats
+        self.stats = TileStats(
+            tile_row=s.tile_row[idx],
+            tile_col=s.tile_col[idx],
+            nnz=s.nnz[idx],
+            uniq_rids=s.uniq_rids[idx],
+            uniq_cids=s.uniq_cids[idx],
+        )
+        self.tile_height = tiled.tile_height
+        self.tile_width = tiled.tile_width
+        self.matrix = tiled.matrix
+
+
+def _cost_table(
+    partitioner: HotTilesPartitioner, tiled_like, n: int
+) -> Tuple[np.ndarray, ...]:
+    """The eight per-tile cost arrays (hot/cold x base/first x time/bytes)."""
+    model, arch = partitioner.model, partitioner.arch
+    all_first = np.ones(n, dtype=bool)
+    hb = model.tile_costs(tiled_like, arch.hot.traits)
+    hf = model.tile_costs(tiled_like, arch.hot.traits, first_mask=all_first)
+    cb = model.tile_costs(tiled_like, arch.cold.traits)
+    cf = model.tile_costs(tiled_like, arch.cold.traits, first_mask=all_first)
+    return (
+        hb.time_s, hf.time_s, hb.bytes, hf.bytes,
+        cb.time_s, cf.time_s, cb.bytes, cf.bytes,
+    )
+
+
+def plan_cache_from(
+    partitioner: HotTilesPartitioner,
+    tiled: TiledMatrix,
+    result: Optional[HotTilesResult] = None,
+) -> PartitionCache:
+    """Seed a :class:`PartitionCache` from a full partitioning.
+
+    Runs :meth:`HotTilesPartitioner.partition` when ``result`` is omitted.
+    """
+    if result is None:
+        result = partitioner.partition(tiled)
+    npc = np.int64(max(tiled.n_panel_cols, 1))
+    keys = (tiled.stats.tile_row * npc + tiled.stats.tile_col).astype(np.int64)
+    table = _cost_table(partitioner, tiled, tiled.n_tiles)
+    return PartitionCache(
+        keys,
+        *table,
+        assignment=np.asarray(result.chosen.assignment, dtype=bool).copy(),
+    )
+
+
+def repair_plan(
+    partitioner: HotTilesPartitioner,
+    tiled: TiledMatrix,
+    cache: PartitionCache,
+    dirty_keys: np.ndarray,
+) -> RepairOutcome:
+    """Re-partition after a delta, re-running the model only on dirty tiles.
+
+    ``tiled`` is the post-delta tiling and ``dirty_keys`` the sorted tile
+    keys reported structurally dirty by
+    :func:`repro.streaming.apply.apply_delta_tiled`.  The expensive step
+    of planning is the per-tile model evaluation, and that is what gets
+    memoized: clean tiles are served from the cached base/first cost
+    variants, only dirty tiles hit :class:`AnalyticalModel` again.  The
+    cheap ``N log N`` cutoff sweep then runs globally over the composed
+    cost table, and candidates are scored with the exact final-runtime
+    formulas -- so the repaired plan is bit-equal to from-scratch
+    :meth:`HotTilesPartitioner.partition` on the post-delta matrix (cached
+    per-tile costs are bit-identical to recomputing them), while
+    ``RepairStats.tiles_repaired`` counts only the model re-evaluations.
+    """
+    arch = partitioner.arch
+    n = tiled.n_tiles
+    npc = np.int64(max(tiled.n_panel_cols, 1))
+    keys = (tiled.stats.tile_row * npc + tiled.stats.tile_col).astype(np.int64)
+    dirty_keys = np.asarray(dirty_keys, dtype=np.int64)
+
+    pos = np.searchsorted(cache.tile_keys, keys)
+    in_range = pos < cache.n_tiles
+    known = np.zeros(n, dtype=bool)
+    known[in_range] = cache.tile_keys[pos[in_range]] == keys[in_range]
+    dirty = ~known | np.isin(keys, dirty_keys, assume_unique=True)
+
+    clean_idx = np.flatnonzero(~dirty)
+    dirty_idx = np.flatnonzero(dirty)
+    src = pos[clean_idx]
+
+    # Compose the full cost table: cached rows for clean tiles, fresh model
+    # evaluations for dirty ones only.
+    names = (
+        "hot_base_time", "hot_first_time", "hot_base_bytes", "hot_first_bytes",
+        "cold_base_time", "cold_first_time", "cold_base_bytes", "cold_first_bytes",
+    )
+    table = {name: np.empty(n, dtype=np.float64) for name in names}
+    for name in names:
+        table[name][clean_idx] = getattr(cache, name)[src]
+    if dirty_idx.size:
+        fresh = _cost_table(partitioner, _TileSubset(tiled, dirty_idx), dirty_idx.size)
+        for name, arr in zip(names, fresh):
+            table[name][dirty_idx] = arr
+
+    stats = RepairStats(
+        n_tiles=n,
+        tiles_repaired=int(dirty_idx.size),
+        tiles_pinned=int(clean_idx.size),
+        new_tiles=int((~known).sum()),
+        dropped_tiles=int(cache.n_tiles - known.sum()),
+    )
+
+    def _finish(result: HotTilesResult) -> RepairOutcome:
+        new_cache = PartitionCache(
+            keys,
+            *(table[name] for name in names),
+            assignment=result.chosen.assignment.copy(),
+        )
+        return RepairOutcome(result=result, stats=stats, cache=new_cache)
+
+    if arch.hot.count == 0 or arch.cold.count == 0:
+        assignment = np.full(n, arch.cold.count == 0, dtype=bool)
+        chosen = _score_from_table(
+            partitioner, tiled, table, assignment, ExecutionMode.PARALLEL, "homogeneous"
+        )
+        return _finish(HotTilesResult(chosen=chosen, candidates={}))
+
+    n_hw, n_cw = arch.hot.count, arch.cold.count
+    heuristics = list(Heuristic)
+    if arch.atomic_updates:
+        heuristics = [Heuristic.MIN_TIME_PARALLEL, Heuristic.MIN_BYTE_PARALLEL]
+
+    h_time = table["hot_base_time"]
+    c_time = table["cold_base_time"]
+    h_bytes = table["hot_base_bytes"]
+    c_bytes = table["cold_base_bytes"]
+
+    # Mirror _heuristic_assignment over the composed table: the sweep is
+    # O(n log n) in plain numpy and does not touch the model, so running
+    # it globally keeps the repair exact at negligible cost.
+    candidates: Dict[Heuristic, PartitionResult] = {}
+    for heuristic in heuristics:
+        if heuristic in (Heuristic.MIN_TIME_PARALLEL, Heuristic.MIN_TIME_SERIAL):
+            order = np.argsort(h_time - c_time, kind="stable")
+            prefix_hot = _prefix(h_time[order] / n_hw)
+            suffix_cold = _suffix(c_time[order] / n_cw)
+            if heuristic is Heuristic.MIN_TIME_PARALLEL:
+                objective = np.maximum(prefix_hot, suffix_cold)
+            else:
+                objective = prefix_hot + suffix_cold
+        else:
+            order = np.argsort(h_bytes - c_bytes, kind="stable")
+            objective = _prefix(h_bytes[order]) + _suffix(c_bytes[order])
+        cutoff = _cutoff_sweep(objective)
+        assignment = np.zeros(n, dtype=bool)
+        assignment[order[:cutoff]] = True
+        candidates[heuristic] = _score_from_table(
+            partitioner, tiled, table, assignment,
+            _HEURISTIC_MODE[heuristic], heuristic.value,
+        )
+    chosen = min(candidates.values(), key=lambda r: r.predicted_time_s)
+    return _finish(HotTilesResult(chosen=chosen, candidates=candidates))
+
+
+def _score_from_table(
+    partitioner: HotTilesPartitioner,
+    tiled: TiledMatrix,
+    table: Dict[str, np.ndarray],
+    assignment: np.ndarray,
+    mode: ExecutionMode,
+    label: str,
+) -> PartitionResult:
+    """Score an assignment from the cached cost table.
+
+    Bit-equal to :meth:`HotTilesPartitioner._score`: composing the cached
+    ``base``/``first`` variants per tile reproduces exactly what the model
+    returns for the assignment-derived first-of-type mask.
+    """
+    arch = partitioner.arch
+    hot_first, cold_first = first_of_type_masks(tiled, assignment)
+    ht = np.where(hot_first, table["hot_first_time"], table["hot_base_time"])
+    hb = np.where(hot_first, table["hot_first_bytes"], table["hot_base_bytes"])
+    ct = np.where(cold_first, table["cold_first_time"], table["cold_base_time"])
+    cb = np.where(cold_first, table["cold_first_bytes"], table["cold_base_bytes"])
+    any_hot = bool(assignment.any())
+    any_cold = bool((~assignment).any())
+    th_total = float(ht[assignment].sum()) / arch.hot.count if any_hot else 0.0
+    tc_total = float(ct[~assignment].sum()) / arch.cold.count if any_cold else 0.0
+    bh_total = float(hb[assignment].sum()) if any_hot else 0.0
+    bc_total = float(cb[~assignment].sum()) if any_cold else 0.0
+    t_merge = 0.0
+    if mode is ExecutionMode.PARALLEL and any_hot and any_cold:
+        t_merge = arch.merge_time_s(tiled.matrix.n_rows)
+    totals = PredictedTotals(
+        th_total=th_total,
+        tc_total=tc_total,
+        bh_total=bh_total,
+        bc_total=bc_total,
+        t_merge=t_merge,
+    )
+    return PartitionResult(
+        label=label,
+        assignment=assignment,
+        mode=mode,
+        predicted_time_s=_runtime_from_totals(arch, totals, mode),
         totals=totals,
     )
 

@@ -221,6 +221,17 @@ class ResultCache:
         self.hits += 1
         return value
 
+    def peek(self, key: str) -> Optional[Any]:
+        """Like :meth:`get`, but without touching the hit/miss counters.
+
+        For presence probes (``in``-style checks) that should not skew
+        the serving hit rate.  A corrupt entry is still dropped.
+        """
+        hits, misses = self.hits, self.misses
+        value = self.get(key)
+        self.hits, self.misses = hits, misses
+        return value
+
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` (atomic; last writer wins)."""
         path = self._path(key)

@@ -10,9 +10,18 @@ Endpoints (all JSON):
   and ``503`` + ``Retry-After`` when it failed with a *retryable* error
   (failure bodies carry a structured ``error_detail`` record -- see
   docs/faults.md).
+- ``POST /matrices/<digest>/delta`` -- body is a :class:`~repro.
+  streaming.delta.DeltaBatch` wire object addressed at the *current
+  head* digest of a registered matrix lineage; replies ``200`` with
+  ``{"applied": {...}, "plan": {...}}`` (the repaired plan under its new
+  digest), ``400`` on a malformed batch, ``404`` for a digest no lineage
+  carries, ``409`` + ``head_digest`` when the digest names a superseded
+  head (re-read and retry), and ``503`` while draining (docs/streaming.md).
 - ``GET /plan/<digest>`` -- a previously computed plan, or ``404``.
 - ``GET /healthz`` -- liveness (``200`` while serving, ``503`` draining).
-- ``GET /stats`` -- the full metrics snapshot.
+- ``GET /stats`` -- the full metrics snapshot (including
+  ``deltas_applied`` / ``tiles_repaired`` counters and the live
+  ``lineages`` count).
 
 Built on :class:`http.server.ThreadingHTTPServer`: one thread per
 connection feeding the service's bounded admission queue, which is where
@@ -34,6 +43,7 @@ from repro.service.planner import (
     ServiceClosed,
 )
 from repro.service.protocol import PlanRequest, ProtocolError
+from repro.streaming.lineage import StaleDigestError, UnknownLineageError
 
 __all__ = ["PlanHTTPServer", "PlanRequestHandler", "make_server"]
 
@@ -56,7 +66,12 @@ class PlanRequestHandler(BaseHTTPRequestHandler):
             span.set(status=self._last_status)
 
     def _handle_post(self) -> None:
-        if self.path.rstrip("/") != "/plan":
+        path = self.path.rstrip("/")
+        if path.startswith("/matrices/") and path.endswith("/delta"):
+            digest = path[len("/matrices/"):-len("/delta")]
+            self._handle_post_delta(digest)
+            return
+        if path != "/plan":
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
             return
         try:
@@ -102,6 +117,52 @@ class PlanRequestHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)})
         else:
             self._send_json(200, {"served": served, "plan": result.to_dict()})
+
+    def _handle_post_delta(self, digest: str) -> None:
+        if not digest or set(digest) - _HEX:
+            self._send_json(400, {"error": f"not a hex digest: {digest!r}"})
+            return
+        service = self.server.service
+        try:
+            payload = self._read_json_body()
+            result, update = service.apply_delta(digest, payload)
+        except ProtocolError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except UnknownLineageError as exc:
+            self._send_json(404, {"error": str(exc.args[0]), "digest": exc.digest})
+        except StaleDigestError as exc:
+            self._send_json(
+                409,
+                {
+                    "error": str(exc),
+                    "digest": exc.digest,
+                    "head_digest": exc.head_digest,
+                },
+            )
+        except ServiceClosed as exc:
+            self._send_json(503, {"error": str(exc)})
+        except ValueError as exc:
+            # Malformed DeltaBatch wire form or out-of-bounds coordinates.
+            self._send_json(400, {"error": str(exc)})
+        else:
+            self._send_json(
+                200,
+                {
+                    "applied": {
+                        "prev_digest": update.prev_digest,
+                        "new_digest": update.new_digest,
+                        "n_inserted": update.report.n_inserted,
+                        "n_overwritten": update.report.n_overwritten,
+                        "n_deleted": update.report.n_deleted,
+                        "nnz": update.nnz,
+                        "n_tiles": update.n_tiles,
+                        "tiles_repaired": update.repair.tiles_repaired,
+                        "repaired_fraction": update.repair.repaired_fraction,
+                        "rebuilt": update.report.rebuilt,
+                    },
+                    "plan": result.to_dict(),
+                },
+            )
 
     def do_GET(self) -> None:  # noqa: N802
         with get_tracer().span(

@@ -93,14 +93,25 @@ class Histogram:
                 self.max = value
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0..100) of the recent window, 0 if empty."""
+        """The ``q``-th percentile (0..100) of the recent window, 0 if empty.
+
+        Linear interpolation between the two closest order statistics
+        (numpy's default ``"linear"`` method), *not* nearest-rank: the
+        answer for a ``q`` that falls between two samples is a weighted
+        blend of both, so e.g. the median of ``[1, 2]`` is ``1.5``.
+        ``q=0`` is the minimum and ``q=100`` the maximum of the window.
+        """
         if not 0 <= q <= 100:
             raise ValueError("percentile must be in [0, 100]")
         with self._lock:
             samples = sorted(self._samples)
+        return self._percentile_of(samples, q)
+
+    @staticmethod
+    def _percentile_of(samples: list, q: float) -> float:
+        """Linear-interpolated percentile of pre-sorted ``samples``."""
         if not samples:
             return 0.0
-        # Nearest-rank with linear interpolation between adjacent samples.
         pos = (len(samples) - 1) * q / 100.0
         lo = int(pos)
         hi = min(lo + 1, len(samples) - 1)
@@ -116,8 +127,28 @@ class Histogram:
             return self.sum / self.count if self.count else 0.0
 
     def snapshot(self) -> Dict[str, float]:
-        out = {"count": self.count, "sum": self.sum, "mean": self.mean, "max": self.max}
-        out.update(self.percentiles())
+        """One internally consistent view of the whole instrument.
+
+        Everything is read under the lock in a single critical section:
+        reading ``count``/``sum``/``max`` field by field while observers
+        run can pair a fresh count with a stale sum (a torn read the
+        threaded metrics test catches), so the snapshot must not go
+        through the individually locked accessors.
+        """
+        with self._lock:
+            count = self.count
+            total = self.sum
+            peak = self.max
+            samples = sorted(self._samples)
+        out = {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "max": peak,
+        }
+        out.update(
+            {f"p{q:g}": self._percentile_of(samples, q) for q in (50, 95, 99)}
+        )
         return out
 
 

@@ -51,10 +51,11 @@ Counter semantics (the reconciliation the load generator checks):
 from __future__ import annotations
 
 import collections
+import dataclasses
 import queue
 import threading
 import time
-from typing import Any, Deque, Dict, Optional, Tuple
+from typing import Any, Deque, Dict, Mapping, Optional, Tuple, Union
 
 from repro.faults.errors import StructuredError, is_retryable
 from repro.faults.retry import RetryPolicy
@@ -62,6 +63,8 @@ from repro.obs.tracer import get_tracer
 from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import PlanRequest, PlanResult
 from repro.service.store import PlanStore
+from repro.streaming.delta import DeltaBatch
+from repro.streaming.lineage import LineageRegistry, LineageUpdate, MatrixLineage
 
 __all__ = [
     "AdmissionRejected",
@@ -145,6 +148,8 @@ class PlanService:
         retry: Optional[RetryPolicy] = None,
         degraded_fallback: bool = False,
         error_ring: int = 16,
+        track_lineage: bool = True,
+        max_lineages: int = 64,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -157,6 +162,8 @@ class PlanService:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.retry = retry if retry is not None else RetryPolicy()
         self.degraded_fallback = bool(degraded_fallback)
+        self.track_lineage = bool(track_lineage)
+        self.lineages = LineageRegistry(max_lineages=max_lineages)
         self.started_unix = time.time()
         self._retry_rng = self.retry.rng()
         self._errors: Deque[Dict[str, Any]] = collections.deque(maxlen=error_ring)
@@ -178,11 +185,14 @@ class PlanService:
         self._computed = m.counter("plans_computed")
         self._cancelled = m.counter("plans_cancelled")
         self._retried = m.counter("plans_retried")
+        self._deltas_applied = m.counter("deltas_applied")
+        self._tiles_repaired = m.counter("tiles_repaired")
         self._queue_gauge = m.gauge("queue_depth")
         self._inflight_gauge = m.gauge("plans_in_flight")
         self._latency = m.histogram("request_latency_s")
         self._plan_wall = m.histogram("plan_wall_s")
         self._queue_wait = m.histogram("queue_wait_s")
+        self._delta_wall = m.histogram("delta_apply_s")
 
         self._threads = [
             threading.Thread(
@@ -303,6 +313,79 @@ class PlanService:
         self._latency.observe(time.monotonic() - start)
         assert entry.result is not None
         return entry.result, served
+
+    def apply_delta(
+        self, digest: str, delta: Union[DeltaBatch, Mapping[str, Any]]
+    ) -> Tuple[PlanResult, LineageUpdate]:
+        """Apply a streaming delta to the matrix lineage behind ``digest``.
+
+        ``digest`` must be the *current head* of a lineage this service
+        registered (the digest returned by the original plan, or by the
+        most recent delta).  ``delta`` is a :class:`~repro.streaming.
+        delta.DeltaBatch` or its wire-form mapping (``DeltaBatch.
+        from_dict``).  Returns the repaired plan's :class:`~repro.
+        service.protocol.PlanResult` -- published to the store under the
+        new head digest -- together with the :class:`~repro.streaming.
+        lineage.LineageUpdate` accounting record.
+
+        Raises :class:`ServiceClosed` when draining,
+        :class:`~repro.streaming.lineage.UnknownLineageError` for a
+        digest no lineage ever carried (HTTP 404),
+        :class:`~repro.streaming.lineage.StaleDigestError` when the
+        digest names a superseded head (HTTP 409; the error carries the
+        current head), and :class:`ValueError` for a malformed payload
+        (HTTP 400).  An empty batch is a pure no-op: same digest, same
+        plan, no counters advanced.
+        """
+        tracer = get_tracer()
+        if self._closed:
+            raise ServiceClosed("service is shutting down")
+        if not isinstance(delta, DeltaBatch):
+            delta = DeltaBatch.from_dict(delta)
+        start = time.monotonic()
+        with tracer.span(
+            "service.apply_delta", cat="service", digest=digest[:12]
+        ) as span:
+            update = self.lineages.apply(digest, delta)
+            lineage = self.lineages.resolve(update.new_digest)
+            wall = time.monotonic() - start
+            span.set(
+                new_digest=update.new_digest[:12],
+                tiles_repaired=update.repair.tiles_repaired,
+            )
+            if update.new_digest == update.prev_digest:
+                base = lineage.meta
+                assert isinstance(base, PlanResult)
+                return base, update
+            chosen = update.partition.chosen
+            base = lineage.meta
+            assert isinstance(base, PlanResult)
+            result = dataclasses.replace(
+                base,
+                digest=update.new_digest,
+                nnz=update.nnz,
+                label=chosen.label,
+                mode=chosen.mode.value,
+                n_tiles=update.n_tiles,
+                hot_tiles=chosen.hot_tile_count,
+                hot_nnz_fraction=update.hot_nnz_fraction,
+                predicted_time_s=chosen.predicted_time_s,
+                scan_s=0.0,
+                partition_s=wall,
+                format_generation_s=0.0,
+                plan_wall_s=wall,
+                artifacts=(),
+                created_unix=time.time(),
+            )
+            lineage.meta = result
+            with tracer.span(
+                "service.store_publish", cat="service", digest=update.new_digest[:12]
+            ):
+                self.store.put(result)
+            self._deltas_applied.inc()
+            self._tiles_repaired.inc(update.repair.tiles_repaired)
+            self._delta_wall.observe(wall)
+            return result, update
 
     def _join_or_register(
         self, digest: str, request: PlanRequest
@@ -499,9 +582,8 @@ class PlanService:
             matrix = request.resolve_matrix()
         arch = request.build_architecture()
         with tracer.span("service.preprocess", cat="service"):
-            preprocess = HotTilesPreprocessor(
-                arch, cache_aware=request.cache_aware
-            ).run(matrix)
+            preprocessor = HotTilesPreprocessor(arch, cache_aware=request.cache_aware)
+            preprocess = preprocessor.run(matrix)
         with tracer.span("service.save_artifacts", cat="service", digest=digest[:12]):
             artifacts = tuple(self.store.save_artifacts(digest, preprocess))
         result = PlanResult.from_preprocess(
@@ -517,6 +599,19 @@ class PlanService:
         # store already holds the result.
         with tracer.span("service.store_publish", cat="service", digest=digest[:12]):
             self.store.put(result)
+        if self.track_lineage:
+            with tracer.span(
+                "service.register_lineage", cat="service", digest=digest[:12]
+            ):
+                self.lineages.register(
+                    MatrixLineage(
+                        digest,
+                        preprocess.tiled,
+                        preprocessor.partitioner,
+                        result=preprocess.partition,
+                        meta=result,
+                    )
+                )
         return result
 
     # ------------------------------------------------------------------
@@ -526,6 +621,7 @@ class PlanService:
         """One JSON-serializable snapshot (the ``/stats`` payload)."""
         snapshot = self.metrics.snapshot()
         snapshot["store"] = self.store.stats()
+        snapshot["lineages"] = len(self.lineages)
         snapshot["uptime_s"] = time.time() - self.started_unix
         snapshot["config"] = {
             "workers": self.workers,

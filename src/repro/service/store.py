@@ -55,7 +55,10 @@ class PlanStore:
         self.results.put(result.digest, result)
 
     def __contains__(self, digest: str) -> bool:
-        return digest in self.results
+        # Same type check as get(): a foreign or stale pickle under our
+        # key must not make the digest look present when get() would
+        # answer None.  peek() keeps presence probes out of the hit rate.
+        return isinstance(self.results.peek(digest), PlanResult)
 
     # ------------------------------------------------------------------
     def save_artifacts(self, digest: str, preprocess) -> List[str]:

@@ -127,6 +127,37 @@ class SparseMatrix:
         z = np.zeros(0, dtype=np.int64)
         return cls(n_rows, n_cols, z, z, np.zeros(0, dtype=dtype), dtype=dtype)
 
+    @classmethod
+    def _from_canonical(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        indptr: Optional[np.ndarray] = None,
+    ) -> "SparseMatrix":
+        """Wrap arrays that are *already* canonical, skipping validation.
+
+        Trusted internal constructor for the incremental delta-merge path
+        (:mod:`repro.streaming.apply`), which maintains the canonical order
+        by construction.  ``indptr``, when given, must be the matching CSR
+        row-pointer array; it is adopted as the cached value.
+        """
+        self = object.__new__(cls)
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.rows = rows
+        self.cols = cols
+        self.vals = vals
+        if indptr is not None:
+            indptr.flags.writeable = False
+        self._indptr = indptr
+        self._digest = None
+        for arr in (rows, cols, vals):
+            arr.flags.writeable = False
+        return self
+
     # ------------------------------------------------------------------
     # Structural queries
     # ------------------------------------------------------------------
@@ -259,6 +290,17 @@ class SparseMatrix:
     def without_diagonal(self) -> "SparseMatrix":
         """Drop nonzeros on the main diagonal."""
         return self.select_nonzeros(self.rows != self.cols)
+
+    def apply_delta(self, delta) -> "SparseMatrix":
+        """Apply a :class:`repro.streaming.delta.DeltaBatch` incrementally.
+
+        Returns a new matrix (or ``self`` for an empty batch) whose arrays
+        are bit-identical to rebuilding from the mutated coordinates; see
+        :func:`repro.streaming.apply.apply_delta_matrix` for the merge.
+        """
+        from repro.streaming.apply import apply_delta_matrix
+
+        return apply_delta_matrix(self, delta)[0]
 
     # ------------------------------------------------------------------
     # Reference kernels

@@ -81,6 +81,72 @@ class TestHistogram:
         snap = h.snapshot()
         assert set(snap) == {"count", "sum", "mean", "max", "p50", "p95", "p99"}
 
+    def test_percentile_is_linear_interpolation_not_nearest_rank(self):
+        # The median of two samples is their midpoint; nearest-rank would
+        # answer one of the samples themselves.
+        h = Histogram()
+        h.observe(1.0)
+        h.observe(2.0)
+        assert h.percentile(50) == pytest.approx(1.5)
+        assert h.percentile(25) == pytest.approx(1.25)
+
+    def test_percentile_edges_single_sample(self):
+        h = Histogram()
+        h.observe(7.0)
+        for q in (0, 50, 100):
+            assert h.percentile(q) == 7.0
+        snap = h.snapshot()
+        assert snap["p50"] == snap["p99"] == 7.0
+
+    def test_percentile_q0_q100_are_window_extremes(self):
+        h = Histogram()
+        for v in (5.0, -1.0, 3.0):
+            h.observe(v)
+        assert h.percentile(0) == -1.0
+        assert h.percentile(100) == 5.0
+
+    def test_snapshot_is_torn_read_free_under_writers(self):
+        # Regression: snapshot() used to read count/sum/max field by field
+        # without taking the lock once, so fields sampled at different
+        # moments could disagree.  One writer observes 1, 2, 3, ...; any
+        # internally consistent snapshot then satisfies max == count and
+        # sum == count * (count + 1) / 2 exactly -- identities a snapshot
+        # torn across concurrent observes breaks.
+        import sys
+        import time
+
+        h = Histogram(max_samples=64)
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                i += 1
+                h.observe(float(i))
+
+        def reader():
+            while not stop.is_set() and not failures:
+                snap = h.snapshot()
+                n = snap["count"]
+                if snap["max"] != n or snap["sum"] != n * (n + 1) / 2:
+                    failures.append(snap)
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            threads = [threading.Thread(target=writer)]
+            threads += [threading.Thread(target=reader) for _ in range(2)]
+            for t in threads:
+                t.start()
+            time.sleep(0.5)
+            stop.set()
+            for t in threads:
+                t.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert not failures, f"torn snapshot observed: {failures[0]}"
+
 
 class TestRegistry:
     def test_same_name_same_instrument(self):

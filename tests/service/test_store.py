@@ -47,6 +47,24 @@ class TestPlanStore:
         store.results.put(result.digest, {"not": "a plan"})
         assert store.get(result.digest) is None
 
+    def test_contains_agrees_with_get_on_poisoned_entry(self, tmp_path):
+        # Regression: __contains__ used to probe the raw cache path, so a
+        # foreign pickle under our key answered True while get() answered
+        # None -- callers branching on `in` then dereferencing get() broke.
+        store, result, _ = make_plan(tmp_path)
+        store.results.put(result.digest, "not-a-plan-result")
+        assert result.digest not in store
+        assert store.get(result.digest) is None
+        store.put(result)
+        assert result.digest in store
+
+    def test_contains_does_not_skew_hit_rate(self, tmp_path):
+        store, result, _ = make_plan(tmp_path)
+        store.put(result)
+        assert result.digest in store
+        assert "deadbeef" not in store
+        assert store.hits == 0 and store.misses == 0
+
     def test_stats_and_flush(self, tmp_path):
         store, result, _ = make_plan(tmp_path)
         store.put(result)
