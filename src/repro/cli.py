@@ -32,8 +32,15 @@ fault schedule and sweep fault intensity::
 (see docs/service.md) and drive it, optionally with chaos injection::
 
     hottiles serve [--port 8750] [--workers 2] [--queue-depth 16]
+    hottiles serve --cluster 4 [--port 0]      # sharded multi-process cluster
     hottiles loadgen [--requests 200] [--concurrency 8]
     hottiles loadgen --chaos [--chaos-rate 0.1] [--chaos-kinds timeout]
+    hottiles loadgen --cluster [--json report.json]  # per-shard latency
+
+``serve --cluster N`` (docs/cluster.md) runs N planner shard processes
+behind an asyncio router that consistent-hashes on matrix digest, so
+plan caching, coalescing, and delta lineages stay shard-local; ``--port
+0`` binds an ephemeral port, reported as a ``port=`` token on stdout.
 
 *Streaming* (docs/streaming.md) -- replay a seeded delta stream and
 check incremental plan repair against from-scratch replanning::
@@ -699,6 +706,14 @@ def _serve_command(argv: List[str]) -> int:
         "--port", type=int, default=8750, help="bind port (0 = ephemeral)"
     )
     parser.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N planner shard processes behind a digest-affinity router "
+        "instead of one in-process service (docs/cluster.md)",
+    )
+    parser.add_argument(
         "--workers", type=int, default=2, help="plan worker threads (default: 2)"
     )
     parser.add_argument(
@@ -742,6 +757,10 @@ def _serve_command(argv: List[str]) -> int:
     )
     args = parser.parse_args(argv)
 
+    _drain_on_sigterm()
+    if args.cluster:
+        return _serve_cluster(args)
+
     store = PlanStore(args.store_dir, max_bytes=args.store_max_bytes)
     service = PlanService(
         store=store,
@@ -751,9 +770,9 @@ def _serve_command(argv: List[str]) -> int:
         degraded_fallback=not args.no_degraded_fallback,
     )
     server = make_server(service, host=args.host, port=args.port, verbose=args.verbose)
-    host, port = server.server_address[:2]
+    host, port = server.server_address[0], server.bound_port
     print(
-        f"hottiles plan service on http://{host}:{port} "
+        f"hottiles plan service on http://{host}:{port} port={port} "
         f"({args.workers} workers, queue depth {args.queue_depth}, "
         f"store {store.store_dir})",
         flush=True,
@@ -772,6 +791,76 @@ def _serve_command(argv: List[str]) -> int:
         + ", ".join(f"{k.split('_', 1)[1]}={v}" for k, v in counters.items()
                     if k.startswith("requests_"))
     )
+    return 0
+
+
+def _drain_on_sigterm() -> None:
+    """Turn SIGTERM into the KeyboardInterrupt drain path.
+
+    Background jobs in non-interactive shells (CI steps, systemd units)
+    start with SIGINT ignored, so ``kill -INT`` never reaches the
+    server; SIGTERM is always deliverable and should mean the same
+    thing: drain in-flight work, then exit.
+    """
+    import signal
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except ValueError:
+        pass  # not the main thread (embedded use); caller handles signals
+
+
+def _serve_cluster(args: argparse.Namespace) -> int:
+    """``hottiles serve --cluster N`` (docs/cluster.md)."""
+    import threading
+
+    from repro.cluster.manager import ClusterManager
+    from repro.service.store import PlanStore
+
+    if args.cluster < 1:
+        raise SystemExit("--cluster must be >= 1")
+    # Resolve the shared store directory once so every shard gets the
+    # same content-addressed tree (the default is per-user cache dir).
+    store_dir = PlanStore(args.store_dir, max_bytes=args.store_max_bytes).store_dir
+
+    def log(line: str) -> None:
+        print(line, flush=True)
+
+    manager = ClusterManager(
+        shards=args.cluster,
+        store_dir=str(store_dir),
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        timeout_s=args.timeout,
+        degraded_fallback=not args.no_degraded_fallback,
+        log=log,
+    )
+    manager.start()
+    try:
+        port = manager.bound_port
+        print(
+            f"hottiles plan cluster on {manager.base_url} port={port} "
+            f"({args.cluster} shards x {args.workers} workers, "
+            f"store {store_dir})",
+            flush=True,
+        )
+        for row in manager.describe()["shards"]:
+            print(
+                f"cluster shard={row['shard']} port={row['port']} "
+                f"pid={row['pid']}",
+                flush=True,
+            )
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("\ndraining shards...", flush=True)
+    finally:
+        manager.stop()
     return 0
 
 
@@ -827,6 +916,18 @@ def _loadgen_command(argv: List[str]) -> int:
         help="fault kinds to draw from: timeout and/or malformed "
         "(default: timeout only, so every injection is absorbable)",
     )
+    parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="cluster mode: require zero dropped connections and report "
+        "per-shard tail latency from X-Hottiles-Shard (docs/cluster.md)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the full report (per-pass, per-shard) as JSON",
+    )
     args = parser.parse_args(argv)
     if args.passes < 1:
         raise SystemExit("--passes must be >= 1")
@@ -852,7 +953,20 @@ def _loadgen_command(argv: List[str]) -> int:
         chaos=chaos,
     )
     print(report.render())
-    return 1 if report.failed or not report.reconciles() else 0
+    if args.json:
+        import json as _json
+
+        Path(args.json).write_text(_json.dumps(report.to_dict(), indent=2))
+        print(f"report written to {args.json}")
+    failed = bool(report.failed) or not report.reconciles()
+    if args.cluster and report.transport_errors:
+        print(
+            f"cluster gate FAILED: {report.transport_errors} dropped "
+            "connection(s) -- every request must resolve to an HTTP status",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def _delta_replay_command(argv: List[str]) -> int:

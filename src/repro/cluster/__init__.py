@@ -1,0 +1,58 @@
+"""Sharded multi-process planning cluster (docs/cluster.md).
+
+``hottiles serve --cluster N`` runs N planner worker processes -- each
+hosting the same :class:`~repro.service.planner.PlanService` as the
+single-process server -- behind an asyncio front-end router that
+consistent-hashes requests on matrix digest, so per-digest plan cache
+hits, in-flight coalescing, and streaming delta lineages all stay
+shard-local while plan *computation* scales across processes (and hence
+across the GIL).
+
+Exports resolve lazily so ``python -m repro.cluster.shard`` does not
+re-import its own module through the package (runpy double-import).
+"""
+
+from typing import Any
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "send_frame",
+    "recv_frame",
+    "read_frame_async",
+    "write_frame_async",
+    "HashRing",
+    "ClusterRouter",
+    "ShardAddress",
+    "ClusterManager",
+    "ShardProcess",
+    "ShardServer",
+    "serve_shard",
+    "HANDSHAKE_PREFIX",
+]
+
+_HOMES = {
+    "MAX_FRAME_BYTES": "ipc",
+    "FrameError": "ipc",
+    "send_frame": "ipc",
+    "recv_frame": "ipc",
+    "read_frame_async": "ipc",
+    "write_frame_async": "ipc",
+    "HashRing": "ring",
+    "ClusterRouter": "router",
+    "ShardAddress": "router",
+    "ClusterManager": "manager",
+    "ShardProcess": "manager",
+    "ShardServer": "shard",
+    "serve_shard": "shard",
+    "HANDSHAKE_PREFIX": "shard",
+}
+
+
+def __getattr__(name: str) -> Any:
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module 'repro.cluster' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f"repro.cluster.{home}"), name)

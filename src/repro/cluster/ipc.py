@@ -1,0 +1,118 @@
+"""Length-prefixed JSON framing between the router and its shards.
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON.  Deliberately minimal and stdlib-only: both sides of the
+cluster IPC (the asyncio router and the threaded shard loop) speak it,
+and a frame is self-delimiting so a reader never has to guess where one
+message ends -- the property HTTP needs headers for.
+
+Sync helpers (:func:`send_frame` / :func:`recv_frame`) serve the shard's
+blocking socket loop and the manager's control channel; async helpers
+(:func:`read_frame_async` / :func:`write_frame_async`) serve the router.
+Both enforce :data:`MAX_FRAME_BYTES` in both directions, so one
+malformed or hostile peer cannot balloon memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Optional
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "send_frame",
+    "recv_frame",
+    "read_frame_async",
+    "write_frame_async",
+]
+
+#: Upper bound on one frame's payload; far above any plan/stats body.
+MAX_FRAME_BYTES = 64 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(ConnectionError):
+    """A malformed frame (oversized, truncated, or not JSON)."""
+
+
+def _encode(obj: Any) -> bytes:
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame too large to send: {len(payload)} bytes")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode(payload: bytes) -> Any:
+    try:
+        return json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise FrameError(f"frame is not valid JSON: {exc}") from None
+
+
+def _checked_length(header: bytes) -> int:
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"incoming frame too large: {length} bytes")
+    return length
+
+
+# ----------------------------------------------------------------------
+# Blocking side (shard server loop, manager control channel)
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, obj: Any) -> None:
+    """Serialize ``obj`` and send it as one frame."""
+    sock.sendall(_encode(obj))
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a boundary."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Any]:
+    """Read one frame; ``None`` when the peer closed between frames."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    payload = _recv_exactly(sock, _checked_length(header))
+    if payload is None:
+        raise FrameError("connection closed mid-frame")
+    return _decode(payload)
+
+
+# ----------------------------------------------------------------------
+# Asyncio side (the router)
+# ----------------------------------------------------------------------
+async def write_frame_async(writer: asyncio.StreamWriter, obj: Any) -> None:
+    writer.write(_encode(obj))
+    await writer.drain()
+
+
+async def read_frame_async(reader: asyncio.StreamReader) -> Optional[Any]:
+    """Read one frame; ``None`` when the peer closed between frames."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid-frame") from None
+    try:
+        payload = await reader.readexactly(_checked_length(header))
+    except asyncio.IncompleteReadError:
+        raise FrameError("connection closed mid-frame") from None
+    return _decode(payload)

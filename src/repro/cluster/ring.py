@@ -1,0 +1,149 @@
+"""Digest-affinity routing: a consistent-hash ring with shard health.
+
+The cluster's whole point is that everything keyed by a matrix digest --
+the per-digest plan cache, in-flight coalescing, and delta lineages --
+stays **shard-local** (docs/cluster.md).  The router therefore maps each
+digest to one shard deterministically with a classic consistent-hash
+ring: every shard owns ``vnodes`` pseudo-random points on a 64-bit
+circle (SHA-256 of ``"shard:<id>#<replica>"``), and a digest routes to
+the first point at or after its own position.  Virtual nodes keep the
+load split near-uniform, and removing a shard only remaps the keys that
+shard owned -- the property that makes drain/resize cheap.
+
+Health is tracked *on* the ring (:meth:`HashRing.mark_down` /
+:meth:`~HashRing.mark_up`) but deliberately does **not** change default
+routing: a digest keeps pointing at its owner while that shard is down,
+and the router answers ``503 + Retry-After`` until the supervisor
+restarts it.  Failing over to the ring successor would scatter a
+lineage's digests across shards mid-chain; only reads that any shard can
+serve from the shared plan store opt into ``failover=True``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["HashRing"]
+
+_SPACE_BITS = 64
+
+
+def _point(token: str) -> int:
+    """A stable position on the 64-bit circle for ``token``."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def digest_point(digest: str) -> int:
+    """Ring position of a matrix digest (already uniform hex: reuse it)."""
+    # Plan digests are sha256 hex, so their leading 16 hex chars are a
+    # uniform 64-bit value; rehashing would only burn cycles per request.
+    head = digest[:16]
+    try:
+        return int(head, 16) << (4 * (16 - len(head)))
+    except ValueError:
+        return _point(digest)
+
+
+class HashRing:
+    """Consistent-hash routing of digests onto integer shard ids."""
+
+    def __init__(self, shard_ids: Sequence[int], vnodes: int = 64) -> None:
+        if not shard_ids:
+            raise ValueError("ring needs at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ValueError("duplicate shard ids")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._lock = threading.Lock()
+        self._down: set = set()
+        self._points: List[Tuple[int, int]] = []
+        self._shard_ids: List[int] = []
+        for sid in shard_ids:
+            self._insert_points(int(sid))
+
+    def _insert_points(self, shard_id: int) -> None:
+        self._shard_ids.append(shard_id)
+        for replica in range(self.vnodes):
+            self._points.append((_point(f"shard:{shard_id}#{replica}"), shard_id))
+        self._points.sort()
+
+    # ------------------------------------------------------------------
+    @property
+    def shard_ids(self) -> List[int]:
+        return sorted(self._shard_ids)
+
+    def __len__(self) -> int:
+        return len(self._shard_ids)
+
+    # ------------------------------------------------------------------
+    def route(self, digest: str, failover: bool = False) -> Optional[int]:
+        """The shard owning ``digest``.
+
+        With ``failover=False`` (the default) the owner is returned even
+        while marked down -- affinity beats availability for cache- and
+        lineage-bound traffic.  With ``failover=True`` the walk skips
+        down shards clockwise (shared-store reads any shard can serve);
+        ``None`` means every shard is down.
+        """
+        point = digest_point(digest)
+        with self._lock:
+            if not self._points:
+                return None
+            index = bisect.bisect_right(self._points, (point, 1 << 72))
+            n = len(self._points)
+            for step in range(n):
+                _, shard_id = self._points[(index + step) % n]
+                if not failover or shard_id not in self._down:
+                    return shard_id
+            return None
+
+    # ------------------------------------------------------------------
+    def mark_down(self, shard_id: int) -> None:
+        with self._lock:
+            if shard_id in self._shard_ids:
+                self._down.add(shard_id)
+
+    def mark_up(self, shard_id: int) -> None:
+        with self._lock:
+            self._down.discard(shard_id)
+
+    def is_up(self, shard_id: int) -> bool:
+        with self._lock:
+            return shard_id in self._shard_ids and shard_id not in self._down
+
+    @property
+    def down_shards(self) -> List[int]:
+        with self._lock:
+            return sorted(self._down)
+
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: int) -> None:
+        """Grow the ring (remaps only the keys the new shard takes over)."""
+        with self._lock:
+            if shard_id in self._shard_ids:
+                raise ValueError(f"shard {shard_id} already on the ring")
+            self._insert_points(int(shard_id))
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Shrink the ring (remaps only the keys the shard owned)."""
+        with self._lock:
+            if shard_id not in self._shard_ids:
+                raise ValueError(f"shard {shard_id} not on the ring")
+            self._shard_ids.remove(shard_id)
+            self._points = [(p, s) for p, s in self._points if s != shard_id]
+            self._down.discard(shard_id)
+
+    # ------------------------------------------------------------------
+    def distribution(self, digests: Sequence[str]) -> Dict[int, int]:
+        """How many of ``digests`` each shard owns (balance diagnostics)."""
+        counts = {sid: 0 for sid in self._shard_ids}
+        for digest in digests:
+            owner = self.route(digest)
+            if owner is not None:
+                counts[owner] += 1
+        return counts

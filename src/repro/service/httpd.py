@@ -6,26 +6,31 @@ Endpoints (all JSON):
   object; replies ``200`` with ``{"served": ..., "plan": {...}}``,
   ``400`` on a malformed request, ``429`` + ``Retry-After`` when the
   admission queue sheds load, ``504`` on a per-request timeout, ``503``
-  while draining, ``500`` when the plan computation failed *terminally*,
-  and ``503`` + ``Retry-After`` when it failed with a *retryable* error
-  (failure bodies carry a structured ``error_detail`` record -- see
-  docs/faults.md).
+  + ``Retry-After`` while draining, ``500`` when the plan computation
+  failed *terminally*, and ``503`` + ``Retry-After`` when it failed with
+  a *retryable* error (failure bodies carry a structured
+  ``error_detail`` record -- see docs/faults.md).
 - ``POST /matrices/<digest>/delta`` -- body is a :class:`~repro.
   streaming.delta.DeltaBatch` wire object addressed at the *current
   head* digest of a registered matrix lineage; replies ``200`` with
   ``{"applied": {...}, "plan": {...}}`` (the repaired plan under its new
   digest), ``400`` on a malformed batch, ``404`` for a digest no lineage
   carries, ``409`` + ``head_digest`` when the digest names a superseded
-  head (re-read and retry), and ``503`` while draining (docs/streaming.md).
+  head (re-read and retry), and ``503`` + ``Retry-After`` while draining
+  (docs/streaming.md).
 - ``GET /plan/<digest>`` -- a previously computed plan, or ``404``.
 - ``GET /healthz`` -- liveness (``200`` while serving, ``503`` draining).
 - ``GET /stats`` -- the full metrics snapshot (including
-  ``deltas_applied`` / ``tiles_repaired`` counters and the live
-  ``lineages`` count).
+  ``deltas_applied`` / ``tiles_repaired`` counters, the live
+  ``lineages`` count, and a ``server`` record carrying the *bound*
+  host/port -- with ``--port 0`` that is the kernel-chosen ephemeral
+  port, so callers never have to race on a fixed one).
 
-Built on :class:`http.server.ThreadingHTTPServer`: one thread per
-connection feeding the service's bounded admission queue, which is where
-concurrency is actually limited.
+The endpoint logic itself lives in :mod:`repro.service.api`, shared with
+the cluster shard transport (docs/cluster.md); this module only maps
+HTTP requests onto it.  Built on :class:`http.server.
+ThreadingHTTPServer`: one thread per connection feeding the service's
+bounded admission queue, which is where concurrency is actually limited.
 """
 
 from __future__ import annotations
@@ -35,19 +40,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.tracer import get_tracer
-from repro.service.planner import (
-    AdmissionRejected,
-    PlanFailed,
-    PlanService,
-    PlanTimeout,
-    ServiceClosed,
-)
-from repro.service.protocol import PlanRequest, ProtocolError
-from repro.streaming.lineage import StaleDigestError, UnknownLineageError
+from repro.service import api
+from repro.service.planner import PlanService
+from repro.service.protocol import ProtocolError
 
 __all__ = ["PlanHTTPServer", "PlanRequestHandler", "make_server"]
-
-_HEX = set("0123456789abcdef")
 
 
 class PlanRequestHandler(BaseHTTPRequestHandler):
@@ -67,102 +64,19 @@ class PlanRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_post(self) -> None:
         path = self.path.rstrip("/")
+        service = self.server.service
+        try:
+            payload = self._read_json_body()
+        except ProtocolError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
         if path.startswith("/matrices/") and path.endswith("/delta"):
             digest = path[len("/matrices/"):-len("/delta")]
-            self._handle_post_delta(digest)
-            return
-        if path != "/plan":
+            self._send_reply(api.delta_endpoint(service, digest, payload))
+        elif path == "/plan":
+            self._send_reply(api.plan_endpoint(service, payload))
+        else:
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
-            return
-        try:
-            payload = self._read_json_body()
-            request = PlanRequest.from_dict(payload)
-        except ProtocolError as exc:
-            self._send_json(400, {"error": str(exc)})
-            return
-        service = self.server.service
-        try:
-            result, served = service.plan(request)
-        except AdmissionRejected as exc:
-            self._send_json(
-                429,
-                {"error": str(exc), "retry_after_s": exc.retry_after_s},
-                extra_headers={"Retry-After": f"{exc.retry_after_s:.3f}"},
-            )
-        except PlanTimeout as exc:
-            self._send_json(504, {"error": str(exc), "digest": exc.digest})
-        except ServiceClosed as exc:
-            self._send_json(503, {"error": str(exc)})
-        except PlanFailed as exc:
-            # Retryable failures answer 503 + Retry-After so well-behaved
-            # clients back off and try again; terminal failures stay 500
-            # (a retry would reproduce them).  Either way the structured
-            # record rides along for diagnosis (docs/faults.md).
-            detail = exc.error.to_dict()
-            if exc.retryable:
-                retry_after = service._retry_after()
-                self._send_json(
-                    503,
-                    {
-                        "error": str(exc),
-                        "error_detail": detail,
-                        "retry_after_s": retry_after,
-                    },
-                    extra_headers={"Retry-After": f"{retry_after:.3f}"},
-                )
-            else:
-                self._send_json(500, {"error": str(exc), "error_detail": detail})
-        except ProtocolError as exc:
-            # Raised while resolving the matrix inside the worker path.
-            self._send_json(400, {"error": str(exc)})
-        else:
-            self._send_json(200, {"served": served, "plan": result.to_dict()})
-
-    def _handle_post_delta(self, digest: str) -> None:
-        if not digest or set(digest) - _HEX:
-            self._send_json(400, {"error": f"not a hex digest: {digest!r}"})
-            return
-        service = self.server.service
-        try:
-            payload = self._read_json_body()
-            result, update = service.apply_delta(digest, payload)
-        except ProtocolError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except UnknownLineageError as exc:
-            self._send_json(404, {"error": str(exc.args[0]), "digest": exc.digest})
-        except StaleDigestError as exc:
-            self._send_json(
-                409,
-                {
-                    "error": str(exc),
-                    "digest": exc.digest,
-                    "head_digest": exc.head_digest,
-                },
-            )
-        except ServiceClosed as exc:
-            self._send_json(503, {"error": str(exc)})
-        except ValueError as exc:
-            # Malformed DeltaBatch wire form or out-of-bounds coordinates.
-            self._send_json(400, {"error": str(exc)})
-        else:
-            self._send_json(
-                200,
-                {
-                    "applied": {
-                        "prev_digest": update.prev_digest,
-                        "new_digest": update.new_digest,
-                        "n_inserted": update.report.n_inserted,
-                        "n_overwritten": update.report.n_overwritten,
-                        "n_deleted": update.report.n_deleted,
-                        "nnz": update.nnz,
-                        "n_tiles": update.n_tiles,
-                        "tiles_repaired": update.repair.tiles_repaired,
-                        "repaired_fraction": update.repair.repaired_fraction,
-                        "rebuilt": update.report.rebuilt,
-                    },
-                    "plan": result.to_dict(),
-                },
-            )
 
     def do_GET(self) -> None:  # noqa: N802
         with get_tracer().span(
@@ -175,22 +89,14 @@ class PlanRequestHandler(BaseHTTPRequestHandler):
         path = self.path.rstrip("/") or "/"
         service = self.server.service
         if path == "/healthz":
-            if service.closed:
-                self._send_json(503, {"status": "draining"})
-            else:
-                self._send_json(200, {"status": "ok"})
+            self._send_reply(api.healthz_endpoint(service))
         elif path == "/stats":
-            self._send_json(200, service.stats())
+            self._send_reply(
+                api.stats_endpoint(service, server=self.server.describe())
+            )
         elif path.startswith("/plan/"):
             digest = path[len("/plan/"):]
-            if not digest or set(digest) - _HEX:
-                self._send_json(400, {"error": f"not a hex digest: {digest!r}"})
-                return
-            result = service.store.get(digest)
-            if result is None:
-                self._send_json(404, {"error": f"no stored plan for {digest[:12]}"})
-            else:
-                self._send_json(200, {"served": "store", "plan": result.to_dict()})
+            self._send_reply(api.get_plan_endpoint(service, digest))
         else:
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
 
@@ -211,6 +117,10 @@ class PlanRequestHandler(BaseHTTPRequestHandler):
             return json.loads(raw)
         except json.JSONDecodeError as exc:
             raise ProtocolError(f"request body is not valid JSON: {exc}") from None
+
+    def _send_reply(self, reply: api.Reply) -> None:
+        status, body, headers = reply
+        self._send_json(status, body, extra_headers=headers or None)
 
     def _send_json(
         self,
@@ -250,6 +160,15 @@ class PlanHTTPServer(ThreadingHTTPServer):
         self.verbose = verbose
         self.max_body_bytes = max_body_bytes
         super().__init__(address, PlanRequestHandler)
+
+    @property
+    def bound_port(self) -> int:
+        """The actually bound port (the ephemeral one for ``port=0``)."""
+        return int(self.server_address[1])
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``server`` record ``/stats`` reports (host + bound port)."""
+        return {"host": self.server_address[0], "port": self.bound_port}
 
 
 def make_server(

@@ -71,9 +71,13 @@ class LoadgenPass:
     served: Dict[str, int] = field(default_factory=dict)  #: store/computed/coalesced
     wall_s: float = 0.0
     latency: Histogram = field(default_factory=Histogram)
+    #: Latency split by the ``X-Hottiles-Shard`` reply header (cluster
+    #: runs only; single-process replies carry no shard header).
+    shard_latency: Dict[str, Histogram] = field(default_factory=dict)
     store_hits_delta: int = 0
     store_gets_delta: int = 0
     errors: List[str] = field(default_factory=list)
+    transport_errors: int = 0  #: dropped connections (no HTTP status at all)
     chaos_injected: Dict[str, int] = field(default_factory=dict)  #: per fault kind
     chaos_absorbed: int = 0  #: injected requests that settled as expected
 
@@ -107,9 +111,44 @@ class LoadgenPass:
                 f"  chaos: {total} injected ({kinds}), "
                 f"{self.chaos_absorbed} absorbed as expected"
             )
+        if self.shard_latency:
+            for shard in sorted(self.shard_latency, key=str):
+                sp = self.shard_latency[shard].percentiles()
+                count = self.shard_latency[shard].count
+                lines.append(
+                    f"  shard {shard}: {count} replies, "
+                    f"p50 {sp['p50'] * 1e3:.1f} ms, p99 {sp['p99'] * 1e3:.1f} ms"
+                )
         for err in self.errors[:5]:
             lines.append(f"  error: {err}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable record (the loadgen ``--json`` artifact)."""
+        p = self.latency.percentiles()
+        return {
+            "name": self.name,
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "transport_errors": self.transport_errors,
+            "retries_429": self.retries_429,
+            "served": dict(self.served),
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": {k: v * 1e3 for k, v in p.items()},
+            "shards": {
+                str(shard): {
+                    "count": hist.count,
+                    **{k: v * 1e3 for k, v in hist.percentiles().items()},
+                }
+                for shard, hist in sorted(self.shard_latency.items(), key=lambda kv: str(kv[0]))
+            },
+            "store_hit_rate": self.store_hit_rate,
+            "chaos_injected": dict(self.chaos_injected),
+            "chaos_absorbed": self.chaos_absorbed,
+            "errors": list(self.errors[:10]),
+        }
 
 
 @dataclass
@@ -132,6 +171,21 @@ class LoadgenReport:
             + counters.get("requests_degraded", 0)
         )
         return accepted == settled
+
+    @property
+    def transport_errors(self) -> int:
+        """Dropped connections across all passes (must be 0 in a cluster)."""
+        return sum(p.transport_errors for p in self.passes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "passes": [p.to_dict() for p in self.passes],
+            "failed": self.failed,
+            "transport_errors": self.transport_errors,
+            "reconciles": self.reconciles(),
+            "server_counters": dict(self.server_stats.get("counters", {})),
+            "cluster": self.server_stats.get("cluster"),
+        }
 
     def render(self) -> str:
         lines = [p.render() for p in self.passes]
@@ -157,6 +211,7 @@ class LoadgenReport:
             "(accepted = completed + failed + timeout + degraded): "
             + ("yes" if self.reconciles() else "NO")
         )
+        lines.append(f"dropped connections (transport errors): {self.transport_errors}")
         return "\n".join(lines)
 
 
@@ -221,7 +276,8 @@ def run_pass(
 
     def record(outcome: str, latency_s: float, served: Optional[str],
                retries: int, error: Optional[str],
-               chaos_kind: Optional[str] = None) -> None:
+               chaos_kind: Optional[str] = None,
+               shard: Optional[str] = None) -> None:
         with counter_lock:
             if chaos_kind is not None:
                 result.chaos_injected[chaos_kind] = (
@@ -230,6 +286,9 @@ def run_pass(
             if outcome == "ok":
                 result.completed += 1
                 result.latency.observe(latency_s)
+                if shard is not None:
+                    hist = result.shard_latency.setdefault(shard, Histogram())
+                    hist.observe(latency_s)
                 if served:
                     result.served[served] = result.served.get(served, 0) + 1
                 if chaos_kind is not None:
@@ -240,6 +299,8 @@ def run_pass(
                 result.chaos_absorbed += 1
             else:
                 result.failed += 1
+                if error and error.startswith("transport:"):
+                    result.transport_errors += 1
                 if error and len(result.errors) < 32:
                     result.errors.append(error)
             result.retries_429 += retries
@@ -275,6 +336,7 @@ def run_pass(
                         retries,
                         None,
                         chaos_kind=kind,
+                        shard=headers.get("X-Hottiles-Shard"),
                     )
                     break
                 retry_after = headers.get("Retry-After")

@@ -173,6 +173,10 @@ class PlanService:
         self._lock = threading.Lock()
         self._closed = False
         self._discard = False
+        self._shutdown_started = False
+        self._deltas_inflight = 0
+        self._deltas_idle = threading.Event()
+        self._deltas_idle.set()
 
         m = self.metrics
         self._accepted = m.counter("requests_accepted")
@@ -338,8 +342,27 @@ class PlanService:
         plan, no counters advanced.
         """
         tracer = get_tracer()
-        if self._closed:
-            raise ServiceClosed("service is shutting down")
+        # Admission and the in-flight count move together under the lock:
+        # once close() has observed zero in-flight deltas after setting
+        # _closed, no new delta can slip in, so a drain never interrupts
+        # a half-advanced lineage head (every delta either completes
+        # fully or is rejected here, before touching the lineage).
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shutting down")
+            self._deltas_inflight += 1
+            self._deltas_idle.clear()
+        try:
+            return self._apply_delta_admitted(digest, delta, tracer)
+        finally:
+            with self._lock:
+                self._deltas_inflight -= 1
+                if self._deltas_inflight == 0:
+                    self._deltas_idle.set()
+
+    def _apply_delta_admitted(
+        self, digest: str, delta: Union[DeltaBatch, Mapping[str, Any]], tracer: Any
+    ) -> Tuple[PlanResult, LineageUpdate]:
         if not isinstance(delta, DeltaBatch):
             delta = DeltaBatch.from_dict(delta)
         start = time.monotonic()
@@ -401,10 +424,13 @@ class PlanService:
             self._inflight[digest] = entry
             return entry, True
 
-    def _retry_after(self) -> float:
+    def retry_after_hint(self) -> float:
         """Advisory client backoff: about one plan's worth of queue motion."""
         p50 = self._plan_wall.percentile(50)
         return max(0.05, min(p50 if p50 > 0 else 0.1, 5.0))
+
+    # Kept as an alias: earlier callers reached for the private name.
+    _retry_after = retry_after_hint
 
     def _degraded_plan(
         self, request: PlanRequest, digest: str, tracer: Any
@@ -639,6 +665,24 @@ class PlanService:
     def closed(self) -> bool:
         return self._closed
 
+    def begin_close(self, drain: bool = True) -> bool:
+        """Atomically stop admission without waiting for shutdown.
+
+        The first caller wins (returns ``True``); from that point every
+        new ``plan``/``apply_delta`` answers :class:`ServiceClosed`.  A
+        graceful drain (cluster shards, docs/cluster.md) calls this
+        synchronously so the 503 window opens *before* the drain reply
+        is sent, then finishes the slow part -- :meth:`close` -- off the
+        handler thread.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            self._closed = True
+            if not drain:
+                self._discard = True
+            return True
+
     def close(self, drain: bool = True) -> None:
         """Stop admission, finish (or discard) queued plans, join workers.
 
@@ -646,20 +690,19 @@ class PlanService:
         accepted request is abandoned; ``drain=False`` cancels whatever a
         worker has not yet started.  Idempotent.
         """
+        self.begin_close(drain)
         with self._lock:
-            if self._closed:
-                already = True
-            else:
-                already = False
-                self._closed = True
-                if not drain:
-                    self._discard = True
-        if already:
-            return
+            if self._shutdown_started:
+                return
+            self._shutdown_started = True
         for _ in self._threads:
             self._queue.put(_SENTINEL)
         for thread in self._threads:
             thread.join()
+        # Let in-flight deltas (HTTP handler threads, not workers) finish
+        # so no lineage head is left half-advanced; new ones are already
+        # rejected because _closed is set.
+        self._deltas_idle.wait(timeout=60.0)
         self.store.flush_counters()
 
     def __enter__(self) -> "PlanService":

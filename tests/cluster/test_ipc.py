@@ -1,0 +1,118 @@
+"""Length-prefixed JSON framing: roundtrips, EOF semantics, size guards."""
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cluster.ipc import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    read_frame_async,
+    recv_frame,
+    send_frame,
+    write_frame_async,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestSyncFraming:
+    def test_roundtrip(self, pair):
+        a, b = pair
+        message = {"op": "plan", "payload": {"n": [1, 2, 3], "s": "x"}}
+        send_frame(a, message)
+        assert recv_frame(b) == message
+
+    def test_multiple_frames_are_self_delimiting(self, pair):
+        a, b = pair
+        for i in range(5):
+            send_frame(a, {"i": i})
+        for i in range(5):
+            assert recv_frame(b) == {"i": i}
+
+    def test_clean_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_frame(b) is None
+
+    def test_eof_mid_frame_raises(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 100) + b'{"partial"')
+        a.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(b)
+
+    def test_oversized_incoming_frame_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError, match="too large"):
+            recv_frame(b)
+
+    def test_non_json_frame_rejected(self, pair):
+        a, b = pair
+        payload = b"\xff\xfenot json"
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(FrameError, match="not valid JSON"):
+            recv_frame(b)
+
+
+class TestAsyncFraming:
+    def test_async_roundtrip_with_sync_peer(self, pair):
+        """The router (async) and shard (sync) speak the same frames."""
+        a, b = pair
+
+        received = {}
+
+        def shard_side():
+            message = recv_frame(b)
+            send_frame(b, {"status": 200, "echo": message})
+
+        thread = threading.Thread(target=shard_side)
+        thread.start()
+
+        async def router_side():
+            reader, writer = await asyncio.open_connection(sock=a)
+            await write_frame_async(writer, {"op": "stats"})
+            received.update(await read_frame_async(reader))
+            writer.close()
+
+        asyncio.run(router_side())
+        thread.join()
+        assert received == {"status": 200, "echo": {"op": "stats"}}
+
+    def test_async_clean_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+
+        async def read():
+            reader, writer = await asyncio.open_connection(sock=b)
+            try:
+                return await read_frame_async(reader)
+            finally:
+                writer.close()
+
+        assert asyncio.run(read()) is None
+
+    def test_async_eof_mid_frame_raises(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 50) + b"abc")
+        a.close()
+
+        async def read():
+            reader, writer = await asyncio.open_connection(sock=b)
+            try:
+                return await read_frame_async(reader)
+            finally:
+                writer.close()
+
+        with pytest.raises(FrameError, match="mid-frame"):
+            asyncio.run(read())

@@ -1,0 +1,106 @@
+"""Consistent-hash ring: determinism, balance, health, resize minimality."""
+
+import hashlib
+
+import pytest
+
+from repro.cluster.ring import HashRing, digest_point
+
+
+def _digests(n, salt=""):
+    return [hashlib.sha256(f"{salt}{i}".encode()).hexdigest() for i in range(n)]
+
+
+class TestRouting:
+    def test_route_is_deterministic(self):
+        ring = HashRing([0, 1, 2])
+        for digest in _digests(50):
+            assert ring.route(digest) == ring.route(digest)
+
+    def test_same_ids_same_mapping_across_instances(self):
+        a, b = HashRing([0, 1, 2]), HashRing([0, 1, 2])
+        for digest in _digests(100):
+            assert a.route(digest) == b.route(digest)
+
+    def test_all_shards_get_traffic(self):
+        ring = HashRing([0, 1, 2, 3])
+        counts = ring.distribution(_digests(2000))
+        assert set(counts) == {0, 1, 2, 3}
+        # Virtual nodes keep the split near-uniform: no shard should be
+        # starved or own the overwhelming majority.
+        assert min(counts.values()) > 2000 * 0.10
+        assert max(counts.values()) < 2000 * 0.45
+
+    def test_digest_point_uses_leading_hex(self):
+        digest = "ff" * 32
+        assert digest_point(digest) == int("f" * 16, 16)
+        # Non-hex inputs fall back to hashing rather than crashing.
+        assert 0 <= digest_point("not-hex!") < (1 << 64)
+
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing([1, 1])
+        with pytest.raises(ValueError):
+            HashRing([0], vnodes=0)
+
+
+class TestHealth:
+    def test_down_shard_still_owns_its_digests(self):
+        """Affinity beats availability: default routing never fails over."""
+        ring = HashRing([0, 1, 2])
+        digest = next(d for d in _digests(100) if ring.route(d) == 1)
+        ring.mark_down(1)
+        assert ring.route(digest) == 1
+        assert not ring.is_up(1)
+        assert ring.down_shards == [1]
+
+    def test_failover_skips_down_shards(self):
+        ring = HashRing([0, 1, 2])
+        digest = next(d for d in _digests(100) if ring.route(d) == 1)
+        ring.mark_down(1)
+        owner = ring.route(digest, failover=True)
+        assert owner is not None and owner != 1
+
+    def test_failover_none_when_all_down(self):
+        ring = HashRing([0, 1])
+        for sid in (0, 1):
+            ring.mark_down(sid)
+        assert ring.route("ab" * 32, failover=True) is None
+
+    def test_mark_up_restores(self):
+        ring = HashRing([0, 1])
+        ring.mark_down(0)
+        ring.mark_up(0)
+        assert ring.is_up(0)
+
+
+class TestResize:
+    def test_add_shard_remaps_minimally(self):
+        ring = HashRing([0, 1, 2])
+        digests = _digests(1000)
+        before = {d: ring.route(d) for d in digests}
+        ring.add_shard(3)
+        moved = sum(1 for d in digests if ring.route(d) != before[d])
+        # Only the keys the new shard takes over move: about 1/4, never
+        # the wholesale reshuffle mod-N hashing would cause.
+        assert 0 < moved < 1000 * 0.45
+
+    def test_remove_shard_only_remaps_its_keys(self):
+        ring = HashRing([0, 1, 2])
+        digests = _digests(1000)
+        before = {d: ring.route(d) for d in digests}
+        ring.remove_shard(2)
+        for d in digests:
+            if before[d] != 2:
+                assert ring.route(d) == before[d]
+            else:
+                assert ring.route(d) in (0, 1)
+
+    def test_add_duplicate_and_remove_missing_raise(self):
+        ring = HashRing([0])
+        with pytest.raises(ValueError):
+            ring.add_shard(0)
+        with pytest.raises(ValueError):
+            ring.remove_shard(5)

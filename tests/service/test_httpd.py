@@ -186,3 +186,51 @@ class TestBackpressureOverHTTP:
             server.shutdown()
             server.server_close()
             service.close()
+
+
+class TestEphemeralPortReporting:
+    """``--port 0`` satellite: the bound port is discoverable (docs/cluster.md)."""
+
+    def test_bound_port_property_resolves_port_zero(self, tmp_path):
+        service = PlanService(store=PlanStore(tmp_path / "plans"), workers=1)
+        server = make_server(service, port=0)
+        try:
+            assert server.bound_port > 0
+            assert server.describe() == {
+                "host": server.server_address[0], "port": server.bound_port
+            }
+        finally:
+            server.server_close()
+            service.close()
+
+    def test_stats_reports_kernel_chosen_port(self, live_server):
+        base, _ = live_server
+        status, stats, _ = http(base, "/stats")
+        assert status == 200
+        # The server record carries the *bound* ephemeral port -- the
+        # one in the URL we are talking to, never the requested 0.
+        assert stats["server"]["port"] == int(base.rsplit(":", 1)[1])
+        assert stats["server"]["port"] != 0
+
+    def test_serve_startup_line_has_parseable_port_token(self, tmp_path):
+        """``hottiles serve --port 0`` announces ``port=<bound>`` on stdout."""
+        import re
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--workers", "1", "--store-dir", str(tmp_path / "plans")],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"\bport=(\d+)\b", line)
+            assert match, f"no port= token in startup line: {line!r}"
+            port = int(match.group(1))
+            assert port > 0
+            status, body, _ = http(f"http://127.0.0.1:{port}", "/healthz")
+            assert status == 200 and body["status"] == "ok"
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
