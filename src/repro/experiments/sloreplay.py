@@ -1,0 +1,135 @@
+"""The SLO-replay gate: autoscaling must earn its keep, deterministically.
+
+One committed burst trace (``tests/golden/replay_burst.json``, a
+:func:`~repro.service.replay.burst_trace` output) is replayed twice in
+virtual time -- once with the autoscaler on, once with the worker pool
+frozen -- and judged against the trace's own queue-wait p99 SLO:
+
+- **with autoscaling** the replay must *meet* the SLO, and
+- **without** (``--no-autoscale``) it must *violate* it.
+
+Both arms are discrete-event simulations of the same admission/queueing
+objects the live service runs (:mod:`repro.service.replay`), so the
+verdict is bit-reproducible: no timing flake, no machine-class
+calibration, the same two numbers on every run.  ``bench_service.py``
+asserts the gate and the CI ``slo-smoke`` job ships :meth:`SloGateResult
+.to_dict` as its artifact (docs/autoscaling.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.service.replay import (
+    ReplayResult,
+    RequestTrace,
+    burst_trace,
+    replay_trace,
+)
+
+__all__ = ["SloGateResult", "slo_replay_gate", "DEFAULT_SLO_S"]
+
+#: Fallback SLO when the trace's meta carries none.  Sits between the
+#: autoscaled tail (bounded by ``max_workers`` during the burst peak)
+#: and the frozen-pool tail, with wide margin to both.
+DEFAULT_SLO_S = 2.0
+
+
+@dataclass(frozen=True)
+class SloGateResult:
+    """Both arms of the gate plus the verdict."""
+
+    slo_s: float
+    with_autoscale: ReplayResult
+    without_autoscale: ReplayResult
+
+    @property
+    def on_meets(self) -> bool:
+        return self.with_autoscale.meets_slo(self.slo_s)
+
+    @property
+    def off_violates(self) -> bool:
+        return not self.without_autoscale.meets_slo(self.slo_s)
+
+    def passes(self) -> bool:
+        """Autoscaling must be necessary *and* sufficient for the SLO."""
+        return self.on_meets and self.off_violates
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slo_s": self.slo_s,
+            "passes": self.passes(),
+            "on_meets": self.on_meets,
+            "off_violates": self.off_violates,
+            "with_autoscale": {
+                "queue_wait_p99_s": round(
+                    self.with_autoscale.queue_wait_p99_s, 9
+                ),
+                "summary": self.with_autoscale.decision_summary(),
+            },
+            "without_autoscale": {
+                "queue_wait_p99_s": round(
+                    self.without_autoscale.queue_wait_p99_s, 9
+                ),
+                "summary": self.without_autoscale.decision_summary(),
+            },
+        }
+
+    def save_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    def render(self) -> str:
+        on, off = self.with_autoscale, self.without_autoscale
+        on_sum, off_sum = on.decision_summary(), off.decision_summary()
+        lines = [f"SLO-replay gate (queue-wait p99 SLO {self.slo_s:g}s):"]
+        for label, result, summary, verdict in (
+            ("autoscale on ", on, on_sum,
+             "met" if self.on_meets else "VIOLATED (gate fails)"),
+            ("autoscale off", off, off_sum,
+             "violated as expected" if self.off_violates
+             else "MET (gate fails: autoscaling unnecessary)"),
+        ):
+            lines.append(
+                f"  {label}: p99 {result.queue_wait_p99_s * 1e3:8.1f} ms "
+                f"-- {verdict}"
+            )
+            lines.append(
+                f"    {summary['completed']} completed, "
+                f"{summary['degraded']} degraded, {summary['shed']} shed "
+                f"({summary['shed_by_tier'] or '-'}); "
+                f"{summary['scale_ups']} scale-ups, peak "
+                f"{summary['peak_workers']} workers"
+            )
+        lines.append(f"  gate: {'PASS' if self.passes() else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def slo_replay_gate(
+    trace: Optional[Union[RequestTrace, str, Path]] = None,
+    slo_s: Optional[float] = None,
+) -> SloGateResult:
+    """Run both arms of the gate over ``trace`` (default: the seed-0 burst).
+
+    ``trace`` may be a loaded :class:`RequestTrace` or a path to one;
+    ``slo_s`` defaults to the trace's ``queue_wait_slo_p99_s`` meta,
+    then :data:`DEFAULT_SLO_S`.
+    """
+    if trace is None:
+        trace = burst_trace(seed=0)
+    elif isinstance(trace, (str, Path)):
+        trace = RequestTrace.load(trace)
+    if slo_s is None:
+        meta_slo = trace.meta.get("queue_wait_slo_p99_s")
+        slo_s = float(meta_slo) if meta_slo is not None else DEFAULT_SLO_S
+    return SloGateResult(
+        slo_s=slo_s,
+        with_autoscale=replay_trace(trace, autoscale=True),
+        without_autoscale=replay_trace(trace, autoscale=False),
+    )

@@ -1,0 +1,612 @@
+"""Predictive admission control: cost model, EDF queue, policy tiers.
+
+HotTiles' analytical model predicts plan *runtime* before a plan runs;
+this module applies the same idea to the planning service itself.  The
+service already records ``plan_wall_s`` for every computation -- the
+calibration data.  :class:`CostModel` turns those observations into a
+per-architecture predictor of how long a new request will take to plan,
+so admission can be decided *before* the work is queued instead of after
+a timeout.
+
+Three pieces, shared verbatim between the live service and the
+deterministic virtual-time replay (:mod:`repro.service.replay`):
+
+- :class:`CostModel` -- an online per-arch least-squares fit of planning
+  wall time against nnz, with an exact per-digest memo for repeat
+  digests and an explicit *uncalibrated prior* fallback.  A digest with
+  no calibration data predicts the prior (never crashes); callers count
+  those through the ``admission_uncalibrated`` counter.
+- :class:`EDFQueue` -- the bounded admission queue, ordered by absolute
+  deadline (earliest first, FIFO among equal deadlines), with per-tenant
+  quota slots so one flooding tenant cannot starve the rest.  Control
+  items (worker retire/shutdown sentinels) are delivered only once the
+  item heap is empty, which preserves the planner's drain semantics.
+- :class:`AdmissionController` -- the policy brain.  Each arriving
+  request is *offered*; by tier the controller answers admit (gold:
+  always a full plan), degrade (silver: roofline-only once the predicted
+  queue wait exceeds the tier SLO), or shed (bronze: 429 + Retry-After
+  under the same pressure).  Per-tenant accounting conserves
+  ``offered == admitted + shed + degraded`` -- the invariant the
+  hypothesis property tests pin.
+
+Every decision lands in a :class:`DecisionLog` and is emitted through
+:mod:`repro.obs` (process ``"policy"``) so a Perfetto trace shows
+admit/shed/degrade/scale events against queue depth (docs/autoscaling.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.tracer import POLICY, get_tracer
+
+__all__ = [
+    "TIERS",
+    "DEFAULT_TIER",
+    "CostEstimate",
+    "CostModel",
+    "QueueFull",
+    "TenantQuotaExceeded",
+    "Empty",
+    "EDFQueue",
+    "AdmissionConfig",
+    "Decision",
+    "DecisionLog",
+    "AdmissionController",
+]
+
+#: Policy tiers, best first.  gold = always a full plan; silver = may be
+#: degraded to a roofline-only plan under pressure; bronze = may be shed
+#: (429 + Retry-After) under pressure.
+TIERS: Tuple[str, ...] = ("gold", "silver", "bronze")
+DEFAULT_TIER = "silver"
+DEFAULT_TENANT = "default"
+
+
+# ----------------------------------------------------------------------
+# The calibrated planning-cost model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CostEstimate:
+    """One predicted planning cost and where it came from.
+
+    ``source`` is ``"digest"`` (exact memo of this digest's last
+    planning wall), ``"fit"`` (the per-arch least-squares fit), or
+    ``"prior"`` (no calibration data -- the uncalibrated fallback).
+    """
+
+    cost_s: float
+    source: str
+
+    @property
+    def calibrated(self) -> bool:
+        return self.source != "prior"
+
+
+class _ArchFit:
+    """Running least-squares of wall seconds against nnz for one arch."""
+
+    __slots__ = ("n", "sx", "sy", "sxx", "sxy")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.sx = 0.0
+        self.sy = 0.0
+        self.sxx = 0.0
+        self.sxy = 0.0
+
+    def add(self, nnz: float, wall_s: float) -> None:
+        self.n += 1
+        self.sx += nnz
+        self.sy += wall_s
+        self.sxx += nnz * nnz
+        self.sxy += nnz * wall_s
+
+    def predict(self, nnz: Optional[float]) -> Optional[float]:
+        if self.n == 0:
+            return None
+        mean = self.sy / self.n
+        if nnz is None:
+            return mean
+        denom = self.n * self.sxx - self.sx * self.sx
+        if denom <= 0.0:
+            return mean
+        slope = (self.n * self.sxy - self.sx * self.sy) / denom
+        intercept = (self.sy - slope * self.sx) / self.n
+        return intercept + slope * nnz
+
+
+class CostModel:
+    """Online predictor of per-request planning wall time.
+
+    Observations arrive from the worker side (actual ``plan_wall_s``);
+    predictions are asked for at admission.  A digest seen before
+    answers its own last wall time exactly; otherwise the per-arch fit
+    answers once it has ``min_samples`` observations; otherwise the
+    uncalibrated ``prior_s`` -- a deliberate, counted fallback, never an
+    error (docs/autoscaling.md).
+    """
+
+    #: Predictions are clamped into this range: a fit extrapolated to a
+    #: tiny or huge nnz must not answer nonsense (or a negative time).
+    MIN_PREDICT_S = 1e-4
+    MAX_PREDICT_S = 600.0
+
+    def __init__(
+        self,
+        prior_s: float = 0.05,
+        min_samples: int = 3,
+        max_digests: int = 4096,
+    ) -> None:
+        if prior_s <= 0:
+            raise ValueError("prior_s must be positive")
+        self.prior_s = float(prior_s)
+        self.min_samples = int(min_samples)
+        self.max_digests = int(max_digests)
+        self._lock = threading.Lock()
+        self._fits: Dict[str, _ArchFit] = {}
+        self._digests: "OrderedDict[str, float]" = OrderedDict()
+
+    def observe(
+        self,
+        arch: str,
+        wall_s: float,
+        nnz: Optional[float] = None,
+        digest: Optional[str] = None,
+    ) -> None:
+        """Fold one actual planning wall time into the model."""
+        wall_s = float(wall_s)
+        if wall_s < 0:
+            return
+        with self._lock:
+            if nnz is not None:
+                fit = self._fits.get(arch)
+                if fit is None:
+                    fit = self._fits[arch] = _ArchFit()
+                fit.add(float(nnz), wall_s)
+            if digest is not None:
+                self._digests[digest] = wall_s
+                self._digests.move_to_end(digest)
+                while len(self._digests) > self.max_digests:
+                    self._digests.popitem(last=False)
+
+    def predict(
+        self,
+        arch: str,
+        nnz: Optional[float] = None,
+        digest: Optional[str] = None,
+    ) -> CostEstimate:
+        """Predict the planning cost of one request; never raises."""
+        with self._lock:
+            if digest is not None and digest in self._digests:
+                return CostEstimate(self._clamp(self._digests[digest]), "digest")
+            fit = self._fits.get(arch)
+            if fit is not None and fit.n >= self.min_samples:
+                predicted = fit.predict(None if nnz is None else float(nnz))
+                if predicted is not None:
+                    return CostEstimate(self._clamp(predicted), "fit")
+        return CostEstimate(self.prior_s, "prior")
+
+    @classmethod
+    def _clamp(cls, value: float) -> float:
+        return max(cls.MIN_PREDICT_S, min(float(value), cls.MAX_PREDICT_S))
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "prior_s": self.prior_s,
+                "min_samples": self.min_samples,
+                "digests": len(self._digests),
+                "fits": {
+                    arch: {"n": fit.n, "mean_s": fit.sy / fit.n if fit.n else 0.0}
+                    for arch, fit in sorted(self._fits.items())
+                },
+            }
+
+
+# ----------------------------------------------------------------------
+# The EDF admission queue
+# ----------------------------------------------------------------------
+class QueueFull(Exception):
+    """The queue holds ``maxsize`` items; the request must be shed."""
+
+
+class TenantQuotaExceeded(Exception):
+    """The tenant already holds its full quota of queue slots."""
+
+    def __init__(self, tenant: str, quota: int) -> None:
+        super().__init__(f"tenant {tenant!r} holds all {quota} of its slots")
+        self.tenant = tenant
+        self.quota = quota
+
+
+def tenant_quota_slots(maxsize: int, fraction: float) -> int:
+    """How many of ``maxsize`` slots one tenant may hold (at least 1)."""
+    return max(1, int(math.ceil(maxsize * fraction)))
+
+
+class EDFQueue:
+    """Bounded earliest-deadline-first queue with per-tenant quotas.
+
+    Items are popped in ``(deadline, arrival order)`` order -- equal
+    deadlines degrade to FIFO, so a service built without admission
+    policy (every deadline 0) behaves exactly like the stdlib queue it
+    replaced.  ``tenant=None`` bypasses the quota (the single-tenant
+    path).  Control objects enqueued with :meth:`put_control` are
+    delivered only when no items remain, which is what both uses need:
+    shutdown sentinels must not overtake queued work during a drain, and
+    a retire request should only remove an *idle* worker.
+
+    Thread-safe; also usable single-threaded with the ``_nowait``
+    methods (the virtual-time replay drives it that way).
+    """
+
+    def __init__(self, maxsize: int, tenant_quota_fraction: float = 1.0) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        if not 0.0 < tenant_quota_fraction <= 1.0:
+            raise ValueError("tenant_quota_fraction must be in (0, 1]")
+        self.maxsize = int(maxsize)
+        self.quota = tenant_quota_slots(self.maxsize, tenant_quota_fraction)
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._heap: List[Tuple[float, int, str, Any]] = []
+        self._controls: Deque[Any] = deque()
+        self._tenants: Dict[str, int] = {}
+        self._seq = 0
+
+    def put_nowait(
+        self, item: Any, deadline: float = 0.0, tenant: Optional[str] = None
+    ) -> None:
+        """Enqueue or raise :class:`QueueFull`/:class:`TenantQuotaExceeded`."""
+        with self._not_empty:
+            if len(self._heap) >= self.maxsize:
+                raise QueueFull()
+            if tenant is not None and self._tenants.get(tenant, 0) >= self.quota:
+                raise TenantQuotaExceeded(tenant, self.quota)
+            key = tenant if tenant is not None else ""
+            self._tenants[key] = self._tenants.get(key, 0) + 1
+            heapq.heappush(
+                self._heap, (float(deadline), self._seq, key, item)
+            )
+            self._seq += 1
+            self._not_empty.notify()
+
+    def put_control(self, obj: Any) -> None:
+        """Enqueue a control object, delivered once the items drain."""
+        with self._not_empty:
+            self._controls.append(obj)
+            self._not_empty.notify_all()
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Pop the earliest-deadline item, else a control object; blocks."""
+        with self._not_empty:
+            while True:
+                got = self._pop_locked()
+                if got is not _EMPTY:
+                    return got
+                if not self._not_empty.wait(timeout):
+                    raise Empty()
+
+    def get_nowait(self) -> Any:
+        with self._lock:
+            got = self._pop_locked()
+            if got is _EMPTY:
+                raise Empty()
+            return got
+
+    def _pop_locked(self) -> Any:
+        if self._heap:
+            _, _, key, item = heapq.heappop(self._heap)
+            count = self._tenants.get(key, 0) - 1
+            if count <= 0:
+                self._tenants.pop(key, None)
+            else:
+                self._tenants[key] = count
+            return item
+        if self._controls:
+            return self._controls.popleft()
+        return _EMPTY
+
+    def qsize(self) -> int:
+        """Number of queued *items* (control objects are not counted)."""
+        with self._lock:
+            return len(self._heap)
+
+    def tenant_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._tenants)
+
+
+class Empty(Exception):
+    """Non-blocking/timed get found neither items nor control objects."""
+
+
+_EMPTY = object()
+
+
+# ----------------------------------------------------------------------
+# The admission policy
+# ----------------------------------------------------------------------
+def _tier_map(
+    gold: float, silver: float, bronze: float
+) -> Dict[str, float]:
+    return {"gold": gold, "silver": silver, "bronze": bronze}
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of the tiered admission policy (docs/autoscaling.md)."""
+
+    #: Of the queue's slots, the fraction any one tenant may hold.
+    tenant_quota_fraction: float = 0.5
+    #: Per-tier queue-wait SLO: once the *predicted* wait exceeds it the
+    #: tier's pressure action fires.  Gold's action is "admit anyway",
+    #: so its entry only documents the target.
+    tier_slo_s: Mapping[str, float] = field(
+        default_factory=lambda: _tier_map(8.0, 2.0, 0.5)
+    )
+    #: Default relative deadline per tier when the request names none --
+    #: gold naturally sorts first under EDF.
+    tier_deadline_s: Mapping[str, float] = field(
+        default_factory=lambda: _tier_map(5.0, 15.0, 60.0)
+    )
+    #: What each tier does when its SLO is predicted blown.
+    tier_pressure_action: Mapping[str, str] = field(
+        default_factory=lambda: {
+            "gold": "admit", "silver": "degrade", "bronze": "shed",
+        }
+    )
+    #: Uncalibrated prior and fit warm-up for the cost model.
+    prior_s: float = 0.05
+    min_samples: int = 3
+
+    def slo_for(self, tier: str) -> float:
+        return float(self.tier_slo_s.get(tier, self.tier_slo_s[DEFAULT_TIER]))
+
+    def deadline_for(self, tier: str) -> float:
+        return float(
+            self.tier_deadline_s.get(tier, self.tier_deadline_s[DEFAULT_TIER])
+        )
+
+    def pressure_action_for(self, tier: str) -> str:
+        return str(self.tier_pressure_action.get(tier, "degrade"))
+
+    def make_cost_model(self) -> CostModel:
+        return CostModel(prior_s=self.prior_s, min_samples=self.min_samples)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission verdict: what to do with an offered request."""
+
+    action: str  #: ``"admit"`` | ``"degrade"`` | ``"shed"``
+    tier: str
+    tenant: str
+    predicted_cost_s: float
+    predicted_wait_s: float
+    calibrated: bool
+    reason: str
+
+
+class DecisionLog:
+    """An append-only, JSON-ready record of every policy decision.
+
+    Live services keep a bounded ring (``/stats`` and ``/decisions``
+    serve it); the virtual-time replay keeps everything (``maxlen=None``)
+    so two replays of one trace can be compared bit for bit.  Floats are
+    rounded to 9 decimal places on entry purely to keep the serialized
+    form canonical.  Each append is also emitted as a tracer event on
+    the ``"policy"`` process.
+    """
+
+    def __init__(
+        self, maxlen: Optional[int] = 512, tracer_process: str = POLICY
+    ) -> None:
+        self._lock = threading.Lock()
+        self._entries: Deque[Dict[str, Any]] = deque(maxlen=maxlen)
+        self._counts: Dict[str, int] = {}
+        self._process = tracer_process
+
+    @staticmethod
+    def _canonical(value: Any) -> Any:
+        if isinstance(value, float):
+            return round(value, 9)
+        return value
+
+    def append(self, kind: str, t: float, **fields: Any) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {"t": round(float(t), 9), "kind": kind}
+        for name in sorted(fields):
+            entry[name] = self._canonical(fields[name])
+        with self._lock:
+            self._entries.append(entry)
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                f"policy.{kind}", ts=entry["t"], process=self._process,
+                track="decisions", cat="policy", **fields,
+            )
+        return entry
+
+    def entries(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [dict(e) for e in self._entries]
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def count(self, kind: str) -> int:
+        with self._lock:
+            return self._counts.get(kind, 0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class AdmissionController:
+    """Tiered predictive admission with per-tenant conservation.
+
+    The controller itself is queue-agnostic: it predicts the wait a new
+    request would see (``backlog_s / workers``), answers a
+    :class:`Decision`, and keeps the books.  The caller (the planner's
+    request path, or the replay's event loop) enforces the verdict and
+    reports back through :meth:`enqueued` / :meth:`started` /
+    :meth:`shed` / :meth:`degraded` so backlog and per-tenant accounting
+    stay true.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AdmissionConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        decision_log: Optional[DecisionLog] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else AdmissionConfig()
+        self.cost_model = (
+            cost_model if cost_model is not None else self.config.make_cost_model()
+        )
+        self.decisions = (
+            decision_log if decision_log is not None else DecisionLog()
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._backlog_s = 0.0
+        self._tenants: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def backlog_s(self) -> float:
+        with self._lock:
+            return self._backlog_s
+
+    def _tenant_row(self, tenant: str) -> Dict[str, int]:
+        row = self._tenants.get(tenant)
+        if row is None:
+            row = self._tenants[tenant] = {
+                "offered": 0, "admitted": 0, "shed": 0, "degraded": 0,
+            }
+        return row
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        tenant: str,
+        tier: str,
+        estimate: CostEstimate,
+        workers: int,
+        queue_depth: int,
+        now: Optional[float] = None,
+    ) -> Decision:
+        """Offer one request to the policy; returns the verdict.
+
+        The verdict is an *intent*: an ``"admit"`` may still bounce off
+        the queue (full, or tenant over quota), in which case the caller
+        records the shed through :meth:`shed`.
+        """
+        if tier not in TIERS:
+            tier = DEFAULT_TIER
+        t = self._clock() if now is None else now
+        with self._lock:
+            self._tenant_row(tenant)["offered"] += 1
+            backlog = self._backlog_s
+        predicted_wait = backlog / max(1, int(workers))
+        slo = self.config.slo_for(tier)
+        if predicted_wait > slo:
+            action = self.config.pressure_action_for(tier)
+            reason = "predicted_wait"
+        else:
+            action = "admit"
+            reason = "within_slo"
+        decision = Decision(
+            action=action,
+            tier=tier,
+            tenant=tenant,
+            predicted_cost_s=estimate.cost_s,
+            predicted_wait_s=predicted_wait,
+            calibrated=estimate.calibrated,
+            reason=reason,
+        )
+        if action != "admit":
+            # Terminal verdicts book immediately; admits book once the
+            # queue actually takes them (enqueued/shed below).
+            with self._lock:
+                self._tenant_row(tenant)[
+                    "degraded" if action == "degrade" else "shed"
+                ] += 1
+        self.decisions.append(
+            action, t,
+            tenant=tenant, tier=tier, reason=reason,
+            predicted_cost_s=estimate.cost_s,
+            predicted_wait_s=predicted_wait,
+            calibrated=estimate.calibrated,
+            queue_depth=int(queue_depth), workers=int(workers),
+        )
+        return decision
+
+    def enqueued(self, decision: Decision) -> None:
+        """The admit verdict landed in the queue; grow the backlog."""
+        with self._lock:
+            self._backlog_s += decision.predicted_cost_s
+            self._tenant_row(decision.tenant)["admitted"] += 1
+
+    def started(self, predicted_cost_s: float) -> None:
+        """A worker picked the item up; shrink the backlog."""
+        with self._lock:
+            self._backlog_s = max(0.0, self._backlog_s - predicted_cost_s)
+
+    def shed(
+        self, decision: Decision, reason: str, now: Optional[float] = None
+    ) -> None:
+        """An admit verdict bounced off the queue -- book it as shed."""
+        t = self._clock() if now is None else now
+        with self._lock:
+            self._tenant_row(decision.tenant)["shed"] += 1
+        self.decisions.append(
+            "shed", t,
+            tenant=decision.tenant, tier=decision.tier, reason=reason,
+            predicted_cost_s=decision.predicted_cost_s,
+            predicted_wait_s=decision.predicted_wait_s,
+            calibrated=decision.calibrated,
+        )
+
+    # ------------------------------------------------------------------
+    def shed_by_tier(self) -> Dict[str, int]:
+        """Shed counts per tier, from the decision log's full history."""
+        out: Dict[str, int] = {}
+        for entry in self.decisions.entries():
+            if entry["kind"] == "shed":
+                out[entry["tier"]] = out.get(entry["tier"], 0) + 1
+        return out
+
+    def tenant_accounting(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {t: dict(row) for t, row in sorted(self._tenants.items())}
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot for ``/stats`` (docs/autoscaling.md)."""
+        with self._lock:
+            backlog = self._backlog_s
+            tenants = {t: dict(row) for t, row in sorted(self._tenants.items())}
+        return {
+            "backlog_s": backlog,
+            "decision_counts": self.decisions.counts(),
+            "tenants": tenants,
+            "cost_model": self.cost_model.snapshot(),
+            "config": {
+                "tenant_quota_fraction": self.config.tenant_quota_fraction,
+                "tier_slo_s": dict(self.config.tier_slo_s),
+                "tier_deadline_s": dict(self.config.tier_deadline_s),
+                "tier_pressure_action": dict(self.config.tier_pressure_action),
+                "prior_s": self.config.prior_s,
+            },
+        }

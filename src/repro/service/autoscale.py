@@ -1,0 +1,227 @@
+"""SLO-aware autoscaling of the planner worker pool (and cluster shards).
+
+The policy is a *pure function* of the observed queueing state --
+:meth:`AutoscalePolicy.target` -- deliberately separated from the two
+drivers that call it:
+
+- :class:`Autoscaler`, the live ticking thread.  Every ``tick_s`` it
+  reads a :class:`ScaleSnapshot` from its ``snapshot`` callback (the
+  planner's :meth:`~repro.service.planner.PlanService.autoscale_snapshot`,
+  or the cluster manager's shard-summed equivalent) and applies the
+  target through its ``apply`` callback (``PlanService.set_workers`` or
+  ``ClusterManager.scale_shards``).
+- the virtual-time replay (:mod:`repro.service.replay`), which drives
+  the identical policy object from simulated ticks -- which is why a
+  replayed trace reproduces the live policy's decision sequence bit for
+  bit, and why autoscaler behavior is testable as ordinary pinned
+  regression tests (docs/autoscaling.md).
+
+Sizing rule: the backlog is ``backlog_s`` predicted work-seconds (from
+the admission controller's calibrated cost model); finishing it within
+the queue-wait SLO needs ``ceil(backlog_s / slo)`` workers.  Scale-up is
+immediate (a blown SLO is already late); scale-down waits for
+``scale_down_idle_ticks`` consecutive idle ticks so a bursty arrival
+process does not flap the pool.  Every scale decision is appended to the
+shared :class:`~repro.service.admission.DecisionLog` and emitted through
+:mod:`repro.obs` alongside a ``queue_depth`` counter sample.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.tracer import POLICY, get_tracer
+from repro.service.admission import DecisionLog
+
+__all__ = [
+    "AutoscaleConfig",
+    "ScaleSnapshot",
+    "AutoscalePolicy",
+    "Autoscaler",
+]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Knobs of the scaling policy (docs/autoscaling.md)."""
+
+    min_workers: int = 1
+    max_workers: int = 8
+    #: Live tick interval; the replay uses the same value in virtual time.
+    tick_s: float = 0.25
+    #: The queue-wait SLO the pool is sized against (target p99).
+    queue_wait_slo_s: float = 0.5
+    #: Consecutive ticks with an empty queue and no backlog before one
+    #: worker is retired.
+    scale_down_idle_ticks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        if self.queue_wait_slo_s <= 0:
+            raise ValueError("queue_wait_slo_s must be positive")
+
+
+@dataclass(frozen=True)
+class ScaleSnapshot:
+    """What one tick observes: the queueing state the policy sizes for."""
+
+    workers: int
+    queue_depth: int
+    backlog_s: float  #: predicted work-seconds waiting in the queue
+    queue_wait_p99_s: float = 0.0  #: recent measured wait (advisory)
+
+
+class AutoscalePolicy:
+    """The deterministic sizing rule; one instance per scaled pool.
+
+    Stateful only in its idle-tick counter (scale-down hysteresis), so
+    the same sequence of snapshots always produces the same sequence of
+    targets -- the property the replay regression tests rely on.
+    """
+
+    def __init__(self, config: Optional[AutoscaleConfig] = None) -> None:
+        self.config = config if config is not None else AutoscaleConfig()
+        self._idle_ticks = 0
+
+    def target(self, snapshot: ScaleSnapshot) -> int:
+        cfg = self.config
+        workers = max(1, int(snapshot.workers))
+        desired = workers
+        if snapshot.backlog_s > 0.0:
+            desired = int(math.ceil(snapshot.backlog_s / cfg.queue_wait_slo_s))
+        if (
+            snapshot.queue_depth > 0
+            and snapshot.queue_wait_p99_s > cfg.queue_wait_slo_s
+        ):
+            # Measured waits already blow the SLO: the backlog estimate
+            # alone is reactive (it cannot see the arrival rate), so
+            # escalate multiplicatively until the waits recover.
+            desired = max(desired, workers * 2)
+        if snapshot.queue_depth == 0 and snapshot.backlog_s == 0.0:
+            self._idle_ticks += 1
+        else:
+            self._idle_ticks = 0
+        if desired <= workers:
+            if self._idle_ticks >= cfg.scale_down_idle_ticks:
+                self._idle_ticks = 0
+                desired = workers - 1
+            else:
+                desired = workers
+        return max(cfg.min_workers, min(desired, cfg.max_workers))
+
+
+class Autoscaler:
+    """The live driver: tick, observe, decide, apply, record.
+
+    ``snapshot`` and ``apply`` make it pool-agnostic -- the same class
+    scales the in-process worker pool and (in ``--cluster`` mode) the
+    shard count, where ``apply`` is the manager's spawn/drain advisory
+    (docs/cluster.md).  ``unit`` only labels the decision log entries.
+    """
+
+    def __init__(
+        self,
+        snapshot: Callable[[], ScaleSnapshot],
+        apply: Callable[[int], int],
+        config: Optional[AutoscaleConfig] = None,
+        decision_log: Optional[DecisionLog] = None,
+        unit: str = "workers",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else AutoscaleConfig()
+        self.policy = AutoscalePolicy(self.config)
+        self.decisions = (
+            decision_log if decision_log is not None else DecisionLog()
+        )
+        self.unit = unit
+        self._snapshot = snapshot
+        self._apply = apply
+        self._clock = clock
+        self._epoch = clock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._ticks = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Autoscaler":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._loop, name=f"autoscale-{self.unit}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.config.tick_s):
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 -- a bad tick must not kill the loop
+                continue
+
+    # ------------------------------------------------------------------
+    def tick(self, now: Optional[float] = None) -> int:
+        """One observe-decide-apply cycle; returns the applied target."""
+        t = (self._clock() - self._epoch) if now is None else now
+        snap = self._snapshot()
+        target = self.policy.target(snap)
+        with self._lock:
+            self._ticks += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            # The queue-depth counter track the scale events render against.
+            tracer.counter(
+                "queue_depth", snap.queue_depth, ts=t,
+                process=POLICY, track="queue",
+            )
+        if target != snap.workers:
+            applied = int(self._apply(target))
+            kind = "scale_up" if target > snap.workers else "scale_down"
+            self.decisions.append(
+                kind, t,
+                unit=self.unit,
+                workers_from=snap.workers, workers_to=applied,
+                queue_depth=snap.queue_depth, backlog_s=snap.backlog_s,
+                queue_wait_p99_s=snap.queue_wait_p99_s,
+            )
+            return applied
+        return snap.workers
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            ticks = self._ticks
+        return {
+            "unit": self.unit,
+            "ticks": ticks,
+            "decision_counts": self.decisions.counts(),
+            "config": {
+                "min_workers": self.config.min_workers,
+                "max_workers": self.config.max_workers,
+                "tick_s": self.config.tick_s,
+                "queue_wait_slo_s": self.config.queue_wait_slo_s,
+                "scale_down_idle_ticks": self.config.scale_down_idle_ticks,
+            },
+        }
+
+    def __enter__(self) -> "Autoscaler":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

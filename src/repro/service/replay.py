@@ -1,0 +1,583 @@
+"""Deterministic request-trace record/replay -- the autoscaler test rig.
+
+A *trace* is a canonical-JSON stream of plan requests: arrival offsets,
+tenants, policy tiers, deadlines, matrix digests, and each request's
+actual planning cost.  Traces come from three places:
+
+- :class:`TraceRecorder`, which ``hottiles loadgen --record FILE`` hangs
+  off a live run (arrival stamps are wall offsets, costs are the
+  server-reported ``plan_wall_s``);
+- :func:`burst_trace`, a seeded synthetic burst generator (the committed
+  ``tests/golden/replay_burst.json`` is one of these); and
+- hand-written JSON, since the wire form is plain and documented.
+
+Replay has two modes.  **Live replay** (``loadgen --replay FILE``, in
+:mod:`repro.service.loadgen`) fires the recorded arrivals at a real
+server with an optional time warp.  **Virtual replay** (``--virtual``,
+:func:`replay_trace` here) never touches a server or a wall clock: it is
+a discrete-event simulation of the queueing system -- the *same*
+:class:`~repro.service.admission.AdmissionController`,
+:class:`~repro.service.admission.EDFQueue`, and
+:class:`~repro.service.autoscale.AutoscalePolicy` objects the live
+service runs, driven by simulated arrivals/completions/ticks with the
+recorded costs as service times.  No threads, no planning, no clocks:
+replaying one trace twice produces bit-identical decision logs and
+queue-wait histograms, which is what turns autoscaler policy behavior
+into ordinary pinned regression tests (docs/autoscaling.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.service.admission import (
+    DEFAULT_TENANT,
+    DEFAULT_TIER,
+    TIERS,
+    AdmissionConfig,
+    AdmissionController,
+    DecisionLog,
+    EDFQueue,
+    Empty,
+    QueueFull,
+    TenantQuotaExceeded,
+)
+from repro.service.autoscale import (
+    AutoscaleConfig,
+    Autoscaler,
+    ScaleSnapshot,
+)
+from repro.service.metrics import Histogram
+
+__all__ = [
+    "TRACE_VERSION",
+    "TraceRequest",
+    "RequestTrace",
+    "TraceRecorder",
+    "burst_trace",
+    "replay_trace",
+    "ReplayResult",
+]
+
+TRACE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# The trace wire form
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceRequest:
+    """One recorded request: when it arrived and what it asked for."""
+
+    arrival_s: float  #: offset from the trace epoch, seconds
+    tenant: str = DEFAULT_TENANT
+    tier: str = DEFAULT_TIER
+    deadline_s: float = 15.0  #: relative deadline (EDF sorts on arrival+deadline)
+    digest: str = ""  #: the plan digest this request resolves to
+    cost_s: float = 0.05  #: actual planning wall (the replay's service time)
+    nnz: Optional[int] = None  #: cost-model feature hint
+    payload: Optional[Dict[str, Any]] = None  #: full request body (live replay)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "arrival_s": round(self.arrival_s, 6),
+            "tenant": self.tenant,
+            "tier": self.tier,
+            "deadline_s": round(self.deadline_s, 6),
+            "digest": self.digest,
+            "cost_s": round(self.cost_s, 6),
+        }
+        if self.nnz is not None:
+            out["nnz"] = int(self.nnz)
+        if self.payload is not None:
+            out["payload"] = dict(self.payload)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceRequest":
+        tier = str(payload.get("tier", DEFAULT_TIER))
+        if tier not in TIERS:
+            raise ValueError(f"unknown tier {tier!r} (known: {', '.join(TIERS)})")
+        return cls(
+            arrival_s=float(payload["arrival_s"]),
+            tenant=str(payload.get("tenant", DEFAULT_TENANT)),
+            tier=tier,
+            deadline_s=float(payload.get("deadline_s", 15.0)),
+            digest=str(payload.get("digest", "")),
+            cost_s=float(payload.get("cost_s", 0.05)),
+            nnz=(int(payload["nnz"]) if payload.get("nnz") is not None else None),
+            payload=(
+                dict(payload["payload"]) if payload.get("payload") else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """A whole recorded stream plus its metadata, in canonical JSON.
+
+    Canonical means: requests sorted by ``(arrival_s, insertion order)``,
+    floats rounded to 6 decimal places, keys sorted, 2-space indent,
+    trailing newline -- so the committed golden diffs cleanly and two
+    saves of the same trace are byte-identical.
+    """
+
+    requests: Tuple[TraceRequest, ...]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def duration_s(self) -> float:
+        return self.requests[-1].arrival_s if self.requests else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": TRACE_VERSION,
+            "meta": dict(self.meta),
+            "requests": [r.to_dict() for r in self.requests],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(self.to_json(), encoding="utf-8")
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RequestTrace":
+        version = int(payload.get("version", 0))
+        if version != TRACE_VERSION:
+            raise ValueError(
+                f"unsupported trace version {version} (expected {TRACE_VERSION})"
+            )
+        requests = [
+            TraceRequest.from_dict(r) for r in payload.get("requests", ())
+        ]
+        requests.sort(key=lambda r: r.arrival_s)
+        return cls(requests=tuple(requests), meta=dict(payload.get("meta", {})))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RequestTrace":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRequest` records during a live loadgen run.
+
+    Arrival offsets are measured from the first :meth:`note` (or an
+    explicit :meth:`start`); thread-safe, because the closed-loop client
+    threads all note into one recorder.
+    """
+
+    def __init__(self, meta: Optional[Mapping[str, Any]] = None) -> None:
+        self._lock = threading.Lock()
+        self._epoch: Optional[float] = None
+        self._requests: List[TraceRequest] = []
+        self.meta: Dict[str, Any] = dict(meta or {})
+
+    def start(self) -> None:
+        with self._lock:
+            if self._epoch is None:
+                self._epoch = time.monotonic()
+
+    def note(
+        self,
+        payload: Mapping[str, Any],
+        digest: str = "",
+        cost_s: float = 0.05,
+        sent_at: Optional[float] = None,
+    ) -> None:
+        now = time.monotonic() if sent_at is None else sent_at
+        with self._lock:
+            if self._epoch is None:
+                self._epoch = now
+            arrival = max(0.0, now - self._epoch)
+            generator = payload.get("generator") or {}
+            self._requests.append(
+                TraceRequest(
+                    arrival_s=arrival,
+                    tenant=str(payload.get("tenant", DEFAULT_TENANT)),
+                    tier=str(payload.get("tier", DEFAULT_TIER)),
+                    deadline_s=float(payload.get("deadline_s", 15.0)),
+                    digest=digest,
+                    cost_s=max(1e-4, float(cost_s)),
+                    nnz=(
+                        int(generator["nnz"]) if "nnz" in generator else None
+                    ),
+                    payload=dict(payload),
+                )
+            )
+
+    def trace(self) -> RequestTrace:
+        with self._lock:
+            requests = sorted(self._requests, key=lambda r: r.arrival_s)
+        meta = dict(self.meta)
+        meta.setdefault("kind", "recorded")
+        meta["n_requests"] = len(requests)
+        return RequestTrace(requests=tuple(requests), meta=meta)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._requests)
+
+
+# ----------------------------------------------------------------------
+# Synthetic burst traces
+# ----------------------------------------------------------------------
+def burst_trace(
+    seed: int = 0,
+    duration_s: float = 10.0,
+    base_rps: float = 20.0,
+    burst_rps: float = 120.0,
+    burst_window: Tuple[float, float] = (2.0, 4.0),
+    tenants: int = 4,
+    plans: int = 4,
+    cost_mean_s: float = 0.04,
+    arch: str = "spade-sextans",
+    nnz: int = 6000,
+    tier_weights: Tuple[float, float, float] = (0.2, 0.5, 0.3),
+    queue_wait_slo_p99_s: float = 2.0,
+) -> RequestTrace:
+    """A seeded open-loop burst: steady arrivals with one overload window.
+
+    Deterministic from ``seed`` via :class:`random.Random` (stable across
+    Python versions, unlike numpy's generators), which is what lets the
+    committed golden trace be regenerated byte-identically:
+    ``hottiles loadgen --synth-burst FILE --seed N``.
+    """
+    if tenants < 1 or plans < 1:
+        raise ValueError("tenants and plans must be >= 1")
+    rng = random.Random(seed)
+    burst_start, burst_end = burst_window
+    w_gold, w_silver, _ = tier_weights
+    config = AdmissionConfig()
+    requests: List[TraceRequest] = []
+    t = 0.0
+    while True:
+        rate = burst_rps if burst_start <= t < burst_end else base_rps
+        t += rng.expovariate(rate)
+        if t >= duration_s:
+            break
+        roll = rng.random()
+        if roll < w_gold:
+            tier = "gold"
+        elif roll < w_gold + w_silver:
+            tier = "silver"
+        else:
+            tier = "bronze"
+        tenant = f"t{rng.randrange(tenants)}"
+        plan_idx = rng.randrange(plans)
+        digest = hashlib.sha256(
+            f"burst-{seed}-{plan_idx}".encode("utf-8")
+        ).hexdigest()
+        cost = max(0.005, rng.gauss(cost_mean_s, cost_mean_s * 0.25))
+        deadline = config.deadline_for(tier)
+        payload = {
+            "arch": arch,
+            "scale": 4,
+            "generator": {"kind": "rmat", "scale": 9, "nnz": nnz,
+                          "seed": plan_idx},
+            "tenant": tenant,
+            "tier": tier,
+            "deadline_s": deadline,
+        }
+        requests.append(
+            TraceRequest(
+                arrival_s=round(t, 6),
+                tenant=tenant,
+                tier=tier,
+                deadline_s=deadline,
+                digest=digest,
+                cost_s=round(cost, 6),
+                nnz=nnz,
+                payload=payload,
+            )
+        )
+    meta = {
+        "kind": "burst",
+        "seed": seed,
+        "duration_s": duration_s,
+        "base_rps": base_rps,
+        "burst_rps": burst_rps,
+        "burst_window": list(burst_window),
+        "tenants": tenants,
+        "plans": plans,
+        "cost_mean_s": cost_mean_s,
+        "arch": arch,
+        "n_requests": len(requests),
+        # The gate SLO the trace is judged against (bench_service / CI
+        # slo-smoke): with autoscaling on the replay must meet this p99
+        # queue wait, with --no-autoscale it must violate it.  The
+        # autoscaler's *internal* sizing SLO stays tighter (0.5s) -- the
+        # gate allows for the burst peak that max_workers bounds.
+        "queue_wait_slo_p99_s": queue_wait_slo_p99_s,
+    }
+    return RequestTrace(requests=tuple(requests), meta=meta)
+
+
+# ----------------------------------------------------------------------
+# Virtual-time replay: the discrete-event simulation
+# ----------------------------------------------------------------------
+#: Event kinds, in tie-break order at equal timestamps: a completion
+#: frees its worker before the tick observes, and the tick observes
+#: before the next arrival is offered.  (Degraded answers skip the
+#: partition pipeline and are served on the caller's thread, so they
+#: never occupy a pool worker -- mirrored here by not scheduling them.)
+_COMPLETION, _TICK, _ARRIVAL = 0, 1, 2
+
+
+@dataclass
+class ReplayResult:
+    """Everything one virtual replay produced, JSON-ready and comparable.
+
+    ``to_dict()`` of two replays of the same trace with the same configs
+    is bit-identical (the acceptance regression test); ``decisions`` is
+    the single interleaved admission+autoscale log.
+    """
+
+    trace_meta: Dict[str, Any]
+    autoscale: bool
+    decisions: List[Dict[str, Any]]
+    queue_wait: Histogram
+    offered: int = 0
+    completed: int = 0
+    degraded: int = 0
+    shed: int = 0
+    shed_by_tier: Dict[str, int] = field(default_factory=dict)
+    uncalibrated: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    final_workers: int = 0
+    peak_workers: int = 0
+    makespan_s: float = 0.0
+    tenants: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def queue_wait_p99_s(self) -> float:
+        return self.queue_wait.percentile(99)
+
+    def meets_slo(self, slo_s: float) -> bool:
+        return self.queue_wait_p99_s <= slo_s
+
+    def decision_summary(self) -> Dict[str, Any]:
+        """The compact pin the golden replay test compares exactly."""
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "shed_by_tier": dict(sorted(self.shed_by_tier.items())),
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "peak_workers": self.peak_workers,
+            "uncalibrated": self.uncalibrated,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_meta": dict(self.trace_meta),
+            "autoscale": self.autoscale,
+            "summary": self.decision_summary(),
+            "final_workers": self.final_workers,
+            "makespan_s": round(self.makespan_s, 9),
+            "queue_wait_p99_s": round(self.queue_wait_p99_s, 9),
+            "queue_wait": {
+                k: (round(v, 9) if isinstance(v, float) else v)
+                for k, v in self.queue_wait.dump().items()
+                if k != "samples"
+            },
+            "queue_wait_samples": [
+                round(s, 9) for s in self.queue_wait.dump()["samples"]
+            ],
+            "tenants": {t: dict(row) for t, row in sorted(self.tenants.items())},
+            "decisions": [dict(d) for d in self.decisions],
+        }
+
+
+@dataclass
+class _Queued:
+    """One admitted request sitting in the virtual EDF queue."""
+
+    event: TraceRequest
+    enqueued_at: float
+    predicted_cost_s: float
+
+
+def replay_trace(
+    trace: RequestTrace,
+    admission_config: Optional[AdmissionConfig] = None,
+    autoscale_config: Optional[AutoscaleConfig] = None,
+    autoscale: bool = True,
+    queue_depth: int = 64,
+) -> ReplayResult:
+    """Replay ``trace`` through the policy stack in virtual time.
+
+    With ``autoscale=False`` the pool is pinned at
+    ``autoscale_config.min_workers`` and no ticks fire -- the static
+    baseline the SLO gate in ``bench_service.py`` compares against.
+    """
+    acfg = admission_config if admission_config is not None else AdmissionConfig()
+    scfg = autoscale_config if autoscale_config is not None else AutoscaleConfig()
+    log = DecisionLog(maxlen=None)
+    controller = AdmissionController(acfg, decision_log=log)
+    arch = str(trace.meta.get("arch", "spade-sextans"))
+    queue = EDFQueue(queue_depth, acfg.tenant_quota_fraction)
+    queue_wait = Histogram(max_samples=max(65536, len(trace) + 1))
+
+    state = {
+        "idle": scfg.min_workers,
+        "busy": 0,
+        "retiring": 0,
+        "remaining": len(trace.requests),
+        "t": 0.0,
+        "peak": scfg.min_workers,
+    }
+
+    def capacity() -> int:
+        return state["idle"] + state["busy"] - state["retiring"]
+
+    def snapshot() -> ScaleSnapshot:
+        return ScaleSnapshot(
+            workers=capacity(),
+            queue_depth=queue.qsize(),
+            backlog_s=controller.backlog_s,
+            queue_wait_p99_s=queue_wait.percentile(99),
+        )
+
+    def apply(target: int) -> int:
+        current = capacity()
+        if target > current:
+            grow = target - current
+            # Cancel pending retires before adding fresh workers.
+            cancelled = min(grow, state["retiring"])
+            state["retiring"] -= cancelled
+            state["idle"] += grow - cancelled
+            state["peak"] = max(state["peak"], capacity())
+        elif target < current:
+            shrink = current - target
+            from_idle = min(shrink, state["idle"])
+            state["idle"] -= from_idle
+            state["retiring"] += shrink - from_idle
+        return capacity()
+
+    scaler = Autoscaler(
+        snapshot, apply, config=scfg, decision_log=log, unit="workers"
+    )
+
+    import heapq as _heapq
+
+    heap: List[Tuple[float, int, int, Any]] = []
+    seq = [0]
+
+    def push(t: float, kind: int, data: Any = None) -> None:
+        _heapq.heappush(heap, (t, kind, seq[0], data))
+        seq[0] += 1
+
+    for event in trace.requests:
+        push(event.arrival_s, _ARRIVAL, event)
+    if autoscale:
+        push(0.0, _TICK, None)
+
+    result = ReplayResult(
+        trace_meta=dict(trace.meta),
+        autoscale=autoscale,
+        decisions=[],
+        queue_wait=queue_wait,
+    )
+
+    def dispatch(t: float) -> None:
+        while state["idle"] > 0:
+            try:
+                item = queue.get_nowait()
+            except Empty:
+                return
+            queue_wait.observe(t - item.enqueued_at)
+            controller.started(item.predicted_cost_s)
+            state["idle"] -= 1
+            state["busy"] += 1
+            push(t + item.event.cost_s, _COMPLETION, item)
+
+    while heap:
+        t, kind, _, data = _heapq.heappop(heap)
+        state["t"] = t
+        if kind == _COMPLETION:
+            state["busy"] -= 1
+            if state["retiring"] > 0:
+                state["retiring"] -= 1
+            else:
+                state["idle"] += 1
+            event = data.event
+            controller.cost_model.observe(
+                arch, event.cost_s, nnz=event.nnz, digest=event.digest
+            )
+            result.completed += 1
+            dispatch(t)
+        elif kind == _ARRIVAL:
+            state["remaining"] -= 1
+            event = data
+            result.offered += 1
+            estimate = controller.cost_model.predict(
+                arch, nnz=event.nnz, digest=event.digest
+            )
+            if not estimate.calibrated:
+                result.uncalibrated += 1
+            decision = controller.decide(
+                event.tenant, event.tier, estimate,
+                workers=capacity(), queue_depth=queue.qsize(), now=t,
+            )
+            if decision.action == "admit":
+                item = _Queued(event, t, estimate.cost_s)
+                try:
+                    queue.put_nowait(
+                        item, deadline=t + event.deadline_s, tenant=event.tenant
+                    )
+                except QueueFull:
+                    controller.shed(decision, "queue_full", now=t)
+                    result.shed += 1
+                    result.shed_by_tier[event.tier] = (
+                        result.shed_by_tier.get(event.tier, 0) + 1
+                    )
+                except TenantQuotaExceeded:
+                    controller.shed(decision, "tenant_quota", now=t)
+                    result.shed += 1
+                    result.shed_by_tier[event.tier] = (
+                        result.shed_by_tier.get(event.tier, 0) + 1
+                    )
+                else:
+                    controller.enqueued(decision)
+                    dispatch(t)
+            elif decision.action == "degrade":
+                result.degraded += 1
+            else:
+                result.shed += 1
+                result.shed_by_tier[event.tier] = (
+                    result.shed_by_tier.get(event.tier, 0) + 1
+                )
+        else:  # _TICK
+            scaler.tick(now=t)
+            dispatch(t)  # scale-up may free capacity for queued work
+            if state["remaining"] > 0 or queue.qsize() > 0 or state["busy"] > 0:
+                push(t + scfg.tick_s, _TICK, None)
+
+    result.decisions = log.entries()
+    result.scale_ups = log.count("scale_up")
+    result.scale_downs = log.count("scale_down")
+    result.final_workers = capacity()
+    result.peak_workers = state["peak"]
+    result.makespan_s = state["t"]
+    result.tenants = controller.tenant_accounting()
+    return result

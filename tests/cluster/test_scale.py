@@ -1,0 +1,124 @@
+"""Cluster autoscaling tests: ring membership churn and shard scaling.
+
+Router membership is unit-tested without sockets (add/remove are plain
+table mutations); one real-subprocess test drives
+:meth:`ClusterManager.scale_shards` through a grow/shrink cycle and
+checks the cluster keeps serving across it (docs/autoscaling.md).
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cluster.manager import ClusterManager
+from repro.cluster.router import ClusterRouter
+
+
+def payload_for(seed):
+    return {"generator": {"kind": "rmat", "scale": 8, "nnz": 2000, "seed": seed}}
+
+
+def http(base, path, payload=None, timeout=60.0):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        base + path,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data else "GET",
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+# ----------------------------------------------------------------------
+# Router membership (no sockets)
+# ----------------------------------------------------------------------
+class TestRouterMembership:
+    def make(self):
+        return ClusterRouter({0: ("127.0.0.1", 9000), 1: ("127.0.0.1", 9001)})
+
+    def test_add_shard_joins_ring(self):
+        router = self.make()
+        router.add_shard(2, "127.0.0.1", 9002)
+        table = {row["shard"] for row in router.shard_table()}
+        assert table == {0, 1, 2}
+        owners = {router.ring.route(f"digest-{i}") for i in range(64)}
+        assert 2 in owners  # the new shard actually takes keys
+
+    def test_add_duplicate_rejected(self):
+        router = self.make()
+        with pytest.raises(KeyError):
+            router.add_shard(0, "127.0.0.1", 9002)
+
+    def test_remove_shard_leaves_ring(self):
+        router = self.make()
+        router.remove_shard(1)
+        assert [row["shard"] for row in router.shard_table()] == [0]
+        owners = {router.ring.route(f"digest-{i}") for i in range(64)}
+        assert owners == {0}
+
+    def test_remove_unknown_rejected(self):
+        router = self.make()
+        with pytest.raises(KeyError):
+            router.remove_shard(7)
+
+    def test_remove_scrubs_lineage_affinity(self):
+        router = self.make()
+        router._pin_lineage("deadbeef", 1)
+        router._pin_lineage("cafef00d", 0)
+        router.remove_shard(1)
+        # The retired shard's pins are gone; survivors keep theirs.
+        assert router._owner_for_delta("cafef00d") == 0
+        assert "deadbeef" not in router._affinity
+
+    def test_remaining_keys_stay_put(self):
+        # Consistent hashing: removing one shard must not shuffle keys
+        # between the survivors.
+        router = self.make()
+        router.add_shard(2, "127.0.0.1", 9002)
+        before = {
+            d: router.ring.route(d)
+            for d in (f"digest-{i}" for i in range(128))
+        }
+        router.remove_shard(2)
+        for digest, owner in before.items():
+            if owner != 2:
+                assert router.ring.route(digest) == owner
+
+
+# ----------------------------------------------------------------------
+# Live grow/shrink cycle (real shard subprocesses)
+# ----------------------------------------------------------------------
+def test_scale_shards_grow_and_shrink(tmp_path):
+    with ClusterManager(
+        shards=1, store_dir=str(tmp_path / "plans"), workers=1,
+        queue_depth=16, admission=True,
+    ) as manager:
+        base = manager.base_url
+        assert manager.shard_count == 1
+
+        assert manager.scale_shards(3) == 3
+        shard_ids = sorted(manager.describe()["shards"],
+                           key=lambda row: row["shard"])
+        assert [row["shard"] for row in shard_ids] == [0, 1, 2]
+
+        # The grown cluster serves plans routed across the ring.
+        for seed in range(4):
+            status, body = http(base, "/plan", payload_for(seed))
+            assert status == 200 and body["plan"]["digest"]
+
+        # Shrink retires the newest shards; the survivor keeps serving.
+        assert manager.scale_shards(1) == 1
+        assert [row["shard"] for row in manager.describe()["shards"]] == [0]
+        status, body = http(base, "/plan", payload_for(0))
+        assert status == 200  # plan survives in the shared store
+
+        # Regrowing hands out fresh ids -- retired ids never come back.
+        assert manager.scale_shards(2) == 2
+        ids = {row["shard"] for row in manager.describe()["shards"]}
+        assert ids == {0, 3}
+
+        snapshot = manager.autoscale_snapshot()
+        assert snapshot.workers == 2  # one unit per live shard
+        assert snapshot.backlog_s >= 0.0

@@ -1,0 +1,344 @@
+"""Admission-control tests: cost model, EDF queue, tiered policy.
+
+The hypothesis properties pin the three invariants docs/autoscaling.md
+promises: deadline ordering (FIFO among equal deadlines), no tenant
+starvation under quota pressure, and per-tenant conservation
+``offered == admitted + shed + degraded``.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.service.admission import (
+    TIERS,
+    AdmissionConfig,
+    AdmissionController,
+    CostModel,
+    DecisionLog,
+    EDFQueue,
+    Empty,
+    QueueFull,
+    TenantQuotaExceeded,
+    tenant_quota_slots,
+)
+from repro.service.protocol import _TIERS
+
+
+def test_protocol_tiers_stay_in_sync():
+    # protocol.py keeps its own `_TIERS` copy to avoid importing the
+    # admission module on the wire path; this is the promised sync check.
+    assert _TIERS == TIERS == ("gold", "silver", "bronze")
+
+
+# ----------------------------------------------------------------------
+# CostModel
+# ----------------------------------------------------------------------
+class TestCostModel:
+    def test_uncalibrated_digest_falls_back_to_prior(self):
+        model = CostModel(prior_s=0.07)
+        estimate = model.predict("spade", nnz=5000, digest="never-seen")
+        assert estimate.source == "prior"
+        assert not estimate.calibrated
+        assert estimate.cost_s == 0.07
+
+    def test_digest_memo_answers_exactly(self):
+        model = CostModel()
+        model.observe("spade", 0.123, nnz=100, digest="d1")
+        estimate = model.predict("spade", digest="d1")
+        assert estimate.source == "digest"
+        assert estimate.calibrated
+        assert estimate.cost_s == pytest.approx(0.123)
+
+    def test_fit_needs_min_samples(self):
+        model = CostModel(min_samples=3)
+        model.observe("spade", 0.1, nnz=1000)
+        model.observe("spade", 0.2, nnz=2000)
+        assert model.predict("spade", nnz=1500).source == "prior"
+        model.observe("spade", 0.3, nnz=3000)
+        estimate = model.predict("spade", nnz=1500)
+        assert estimate.source == "fit"
+        # A perfectly linear calibration interpolates exactly.
+        assert estimate.cost_s == pytest.approx(0.15)
+
+    def test_fit_is_per_arch(self):
+        model = CostModel(min_samples=1)
+        model.observe("fast-arch", 0.01, nnz=1000)
+        assert model.predict("other-arch", nnz=1000).source == "prior"
+
+    def test_predictions_clamped(self):
+        model = CostModel(min_samples=1)
+        # A steep negative slope extrapolates below zero without the clamp.
+        model.observe("spade", 1.0, nnz=100)
+        model.observe("spade", 0.1, nnz=200)
+        estimate = model.predict("spade", nnz=10_000)
+        assert estimate.cost_s >= CostModel.MIN_PREDICT_S
+
+    def test_negative_wall_ignored(self):
+        model = CostModel()
+        model.observe("spade", -1.0, nnz=100, digest="d")
+        assert model.predict("spade", digest="d").source == "prior"
+
+    def test_digest_memo_is_bounded(self):
+        model = CostModel(max_digests=4)
+        for i in range(10):
+            model.observe("spade", 0.01, digest=f"d{i}")
+        assert model.snapshot()["digests"] == 4
+        assert model.predict("spade", digest="d0").source == "prior"
+        assert model.predict("spade", digest="d9").source == "digest"
+
+    def test_prior_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CostModel(prior_s=0.0)
+
+
+def test_tenant_quota_slots_floor():
+    assert tenant_quota_slots(8, 0.5) == 4
+    assert tenant_quota_slots(3, 0.5) == 2  # ceil
+    assert tenant_quota_slots(1, 0.01) == 1  # never zero
+
+
+# ----------------------------------------------------------------------
+# EDFQueue
+# ----------------------------------------------------------------------
+class TestEDFQueue:
+    def test_earliest_deadline_first(self):
+        q = EDFQueue(8)
+        q.put_nowait("late", deadline=9.0)
+        q.put_nowait("soon", deadline=1.0)
+        q.put_nowait("mid", deadline=5.0)
+        assert [q.get_nowait() for _ in range(3)] == ["soon", "mid", "late"]
+
+    def test_equal_deadlines_are_fifo(self):
+        q = EDFQueue(8)
+        for item in "abcd":
+            q.put_nowait(item, deadline=1.0)
+        assert [q.get_nowait() for _ in range(4)] == list("abcd")
+
+    def test_queue_full(self):
+        q = EDFQueue(2)
+        q.put_nowait("a")
+        q.put_nowait("b")
+        with pytest.raises(QueueFull):
+            q.put_nowait("c")
+
+    def test_tenant_quota(self):
+        q = EDFQueue(4, tenant_quota_fraction=0.5)
+        q.put_nowait("a", tenant="flood")
+        q.put_nowait("b", tenant="flood")
+        with pytest.raises(TenantQuotaExceeded) as exc:
+            q.put_nowait("c", tenant="flood")
+        assert exc.value.tenant == "flood"
+        q.put_nowait("c", tenant="other")  # other tenants still fit
+
+    def test_none_tenant_bypasses_quota(self):
+        q = EDFQueue(4, tenant_quota_fraction=0.25)
+        for item in range(4):
+            q.put_nowait(item)  # the single-tenant path fills the queue
+
+    def test_quota_slot_freed_on_get(self):
+        q = EDFQueue(4, tenant_quota_fraction=0.25)
+        q.put_nowait("a", tenant="t")
+        with pytest.raises(TenantQuotaExceeded):
+            q.put_nowait("b", tenant="t")
+        q.get_nowait()
+        q.put_nowait("b", tenant="t")
+        assert q.tenant_counts() == {"t": 1}
+
+    def test_controls_wait_for_items(self):
+        q = EDFQueue(8)
+        sentinel = object()
+        q.put_control(sentinel)
+        q.put_nowait("work", deadline=99.0)
+        assert q.get_nowait() == "work"  # items first, whatever the deadline
+        assert q.get_nowait() is sentinel
+        with pytest.raises(Empty):
+            q.get_nowait()
+
+    def test_qsize_excludes_controls(self):
+        q = EDFQueue(8)
+        q.put_control(object())
+        assert q.qsize() == 0
+
+    def test_blocking_get_times_out(self):
+        q = EDFQueue(2)
+        with pytest.raises(Empty):
+            q.get(timeout=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EDFQueue(0)
+        with pytest.raises(ValueError):
+            EDFQueue(4, tenant_quota_fraction=0.0)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties
+# ----------------------------------------------------------------------
+puts = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+        st.sampled_from(["t0", "t1", "t2", None]),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(entries=puts)
+def test_edf_pop_order_is_deadline_then_fifo(entries):
+    q = EDFQueue(64)
+    accepted = []
+    for idx, (deadline, tenant) in enumerate(entries):
+        q.put_nowait(idx, deadline=deadline, tenant=tenant)
+        accepted.append((deadline, idx))
+    popped = []
+    while True:
+        try:
+            popped.append(q.get_nowait())
+        except Empty:
+            break
+    assert len(popped) == len(accepted)
+    keys = [(entries[i][0], i) for i in popped]
+    assert keys == sorted(accepted)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    flood=st.integers(min_value=0, max_value=32),
+    maxsize=st.integers(min_value=2, max_value=16),
+    fraction=st.floats(min_value=0.1, max_value=0.9),
+)
+def test_no_starvation_under_quota_pressure(flood, maxsize, fraction):
+    """However hard one tenant floods, another tenant still gets a slot."""
+    q = EDFQueue(maxsize, tenant_quota_fraction=fraction)
+    # A tiny queue with a generous fraction rounds the quota up to the
+    # whole queue; starvation-freedom is only promised below that.
+    assume(q.quota < maxsize)
+    for i in range(flood):
+        try:
+            q.put_nowait(("flood", i), deadline=0.0, tenant="flood")
+        except (QueueFull, TenantQuotaExceeded):
+            pass
+    # The quota keeps at least one slot out of the flooder's hands.
+    assert q.tenant_counts().get("flood", 0) <= q.quota < maxsize
+    q.put_nowait(("victim", 0), deadline=50.0, tenant="victim")
+
+
+offered_requests = st.lists(
+    st.tuples(
+        st.sampled_from(["t0", "t1", "t2"]),
+        st.sampled_from(list(TIERS)),
+        st.sampled_from(["enqueue", "bounce"]),
+        st.floats(min_value=0.0, max_value=20.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(requests=offered_requests)
+def test_tenant_accounting_conserves(requests):
+    """offered == admitted + shed + degraded for every tenant, always."""
+    controller = AdmissionController(
+        AdmissionConfig(), decision_log=DecisionLog(maxlen=None)
+    )
+    for tenant, tier, outcome, backlog in requests:
+        controller._backlog_s = backlog  # steer the predicted wait
+        estimate = controller.cost_model.predict("spade")
+        decision = controller.decide(
+            tenant, tier, estimate, workers=1, queue_depth=0, now=0.0
+        )
+        if decision.action == "admit":
+            if outcome == "enqueue":
+                controller.enqueued(decision)
+            else:  # the queue bounced it (full / tenant quota)
+                controller.shed(decision, "queue_full", now=0.0)
+    for tenant, row in controller.tenant_accounting().items():
+        assert row["offered"] == (
+            row["admitted"] + row["shed"] + row["degraded"]
+        ), f"tenant {tenant} books don't balance: {row}"
+
+
+# ----------------------------------------------------------------------
+# AdmissionController policy
+# ----------------------------------------------------------------------
+class TestAdmissionController:
+    def make(self, backlog_s=0.0):
+        controller = AdmissionController(
+            AdmissionConfig(), decision_log=DecisionLog(maxlen=None)
+        )
+        controller._backlog_s = backlog_s
+        return controller
+
+    def decide(self, controller, tier, workers=1):
+        estimate = controller.cost_model.predict("spade")
+        return controller.decide(
+            "t0", tier, estimate, workers=workers, queue_depth=0, now=0.0
+        )
+
+    def test_within_slo_admits_all_tiers(self):
+        controller = self.make(backlog_s=0.0)
+        for tier in TIERS:
+            assert self.decide(controller, tier).action == "admit"
+
+    def test_pressure_actions_by_tier(self):
+        # 10s predicted wait blows every tier SLO (gold's is 8s).
+        controller = self.make(backlog_s=10.0)
+        assert self.decide(controller, "gold").action == "admit"
+        assert self.decide(controller, "silver").action == "degrade"
+        assert self.decide(controller, "bronze").action == "shed"
+
+    def test_predicted_wait_divides_by_workers(self):
+        # 4 workers turn a 4s backlog into a 1s wait: silver (2s SLO)
+        # admits, bronze (0.5s) sheds.
+        controller = self.make(backlog_s=4.0)
+        assert self.decide(controller, "silver", workers=4).action == "admit"
+        assert self.decide(controller, "bronze", workers=4).action == "shed"
+
+    def test_unknown_tier_maps_to_default(self):
+        controller = self.make()
+        decision = self.decide(controller, "platinum")
+        assert decision.tier == "silver"
+
+    def test_backlog_grows_and_shrinks(self):
+        controller = self.make()
+        decision = self.decide(controller, "gold")
+        controller.enqueued(decision)
+        assert controller.backlog_s == pytest.approx(decision.predicted_cost_s)
+        controller.started(decision.predicted_cost_s)
+        assert controller.backlog_s == 0.0
+        controller.started(1.0)  # never goes negative
+        assert controller.backlog_s == 0.0
+
+    def test_shed_by_tier_from_log(self):
+        controller = self.make(backlog_s=10.0)
+        self.decide(controller, "bronze")
+        self.decide(controller, "bronze")
+        assert controller.shed_by_tier() == {"bronze": 2}
+
+    def test_stats_shape(self):
+        controller = self.make()
+        self.decide(controller, "gold")
+        stats = controller.stats()
+        assert stats["decision_counts"] == {"admit": 1}
+        assert "cost_model" in stats and "config" in stats
+        assert stats["tenants"]["t0"]["offered"] == 1
+
+
+class TestDecisionLog:
+    def test_ring_bound_and_counts(self):
+        log = DecisionLog(maxlen=2)
+        for i in range(5):
+            log.append("admit", float(i), tenant="t")
+        assert len(log) == 2
+        assert log.count("admit") == 5  # counts survive the ring
+        assert [e["t"] for e in log.entries()] == [3.0, 4.0]
+
+    def test_floats_canonicalized(self):
+        log = DecisionLog(maxlen=None)
+        entry = log.append("admit", 0.123456789123, wait=1 / 3)
+        assert entry["t"] == round(0.123456789123, 9)
+        assert entry["wait"] == round(1 / 3, 9)

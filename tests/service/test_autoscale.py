@@ -1,0 +1,235 @@
+"""Autoscaler tests: pure policy, live driver, and planner integration.
+
+The policy is a pure function of the snapshot stream (plus one idle-tick
+counter), so its behavior is pinned as plain sequence tests; the
+Autoscaler driver is exercised with fake snapshot/apply callbacks and a
+virtual clock -- no sleeps.  Planner integration covers set_workers
+grow/shrink and the ``admission_uncalibrated`` counter's fallback path
+(docs/autoscaling.md).
+"""
+
+import pytest
+
+from repro.service.admission import AdmissionController, DecisionLog
+from repro.service.autoscale import (
+    AutoscaleConfig,
+    AutoscalePolicy,
+    Autoscaler,
+    ScaleSnapshot,
+)
+from repro.service.planner import PlanService
+from repro.service.protocol import PlanRequest
+from repro.service.store import PlanStore
+
+
+def snap(workers, depth=0, backlog=0.0, p99=0.0):
+    return ScaleSnapshot(
+        workers=workers, queue_depth=depth, backlog_s=backlog,
+        queue_wait_p99_s=p99,
+    )
+
+
+class TestAutoscaleConfig:
+    def test_defaults_valid(self):
+        cfg = AutoscaleConfig()
+        assert cfg.min_workers == 1 and cfg.max_workers == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_workers": 0},
+            {"min_workers": 4, "max_workers": 2},
+            {"tick_s": 0.0},
+            {"queue_wait_slo_s": -1.0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            AutoscaleConfig(**kwargs)
+
+
+class TestAutoscalePolicy:
+    def test_sizes_backlog_against_slo(self):
+        policy = AutoscalePolicy(AutoscaleConfig(queue_wait_slo_s=0.5))
+        # 2.1s of predicted work / 0.5s SLO -> ceil = 5 workers.
+        assert policy.target(snap(1, depth=4, backlog=2.1)) == 5
+
+    def test_blown_p99_escalates_multiplicatively(self):
+        policy = AutoscalePolicy(AutoscaleConfig(queue_wait_slo_s=0.5))
+        # Tiny backlog but measured waits already over the SLO: the
+        # reactive estimate is not to be trusted, double the pool.
+        assert policy.target(snap(3, depth=1, backlog=0.1, p99=1.0)) == 6
+
+    def test_empty_queue_never_escalates(self):
+        policy = AutoscalePolicy(AutoscaleConfig(queue_wait_slo_s=0.5))
+        # Stale p99 with nothing queued must not trigger the doubling.
+        assert policy.target(snap(3, depth=0, backlog=0.0, p99=9.0)) == 3
+
+    def test_scale_down_needs_consecutive_idle_ticks(self):
+        policy = AutoscalePolicy(AutoscaleConfig(scale_down_idle_ticks=3))
+        assert policy.target(snap(4)) == 4
+        assert policy.target(snap(4)) == 4
+        assert policy.target(snap(4)) == 3  # third idle tick retires one
+        assert policy.target(snap(3)) == 3  # counter reset after acting
+
+    def test_busy_tick_resets_hysteresis(self):
+        policy = AutoscalePolicy(AutoscaleConfig(scale_down_idle_ticks=2))
+        assert policy.target(snap(4)) == 4
+        assert policy.target(snap(4, depth=1, backlog=0.1)) == 4  # reset
+        assert policy.target(snap(4)) == 4
+        assert policy.target(snap(4)) == 3
+
+    def test_clamped_to_bounds(self):
+        policy = AutoscalePolicy(AutoscaleConfig(min_workers=2, max_workers=4))
+        assert policy.target(snap(2, depth=99, backlog=100.0)) == 4
+        for _ in range(99):
+            assert policy.target(snap(2)) >= 2
+
+    def test_same_snapshots_same_targets(self):
+        stream = [
+            snap(1, depth=3, backlog=1.5),
+            snap(3, depth=8, backlog=4.0, p99=0.9),
+            snap(8, depth=0, backlog=0.0),
+            snap(8),
+            snap(8),
+            snap(8),
+            snap(8),
+        ]
+        runs = [
+            [AutoscalePolicy(AutoscaleConfig()).target(s) for s in stream]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestAutoscalerDriver:
+    def make(self, snapshots, config=None):
+        """An Autoscaler over a scripted snapshot stream and a fake pool."""
+        state = {"workers": snapshots[0].workers, "i": 0, "applied": []}
+
+        def snapshot():
+            s = snapshots[min(state["i"], len(snapshots) - 1)]
+            state["i"] += 1
+            return ScaleSnapshot(
+                workers=state["workers"], queue_depth=s.queue_depth,
+                backlog_s=s.backlog_s, queue_wait_p99_s=s.queue_wait_p99_s,
+            )
+
+        def apply(n):
+            state["workers"] = n
+            state["applied"].append(n)
+            return n
+
+        scaler = Autoscaler(
+            snapshot, apply, config=config or AutoscaleConfig(),
+            decision_log=DecisionLog(maxlen=None),
+        )
+        return scaler, state
+
+    def test_tick_applies_and_logs_scale_up(self):
+        scaler, state = self.make([snap(1, depth=4, backlog=2.0)])
+        assert scaler.tick(now=0.0) == 4
+        assert state["applied"] == [4]
+        (entry,) = scaler.decisions.entries()
+        assert entry["kind"] == "scale_up"
+        assert entry["workers_from"] == 1 and entry["workers_to"] == 4
+        assert entry["unit"] == "workers"
+
+    def test_steady_state_applies_nothing(self):
+        scaler, state = self.make([snap(2, depth=1, backlog=0.9)])
+        assert scaler.tick(now=0.0) == 2
+        assert state["applied"] == []
+        assert len(scaler.decisions) == 0
+
+    def test_scale_down_after_idle_ticks(self):
+        cfg = AutoscaleConfig(scale_down_idle_ticks=2)
+        scaler, state = self.make([snap(3)] * 4, config=cfg)
+        targets = [scaler.tick(now=float(i)) for i in range(4)]
+        assert targets == [3, 2, 2, 1]
+        kinds = [e["kind"] for e in scaler.decisions.entries()]
+        assert kinds == ["scale_down", "scale_down"]
+
+    def test_stats_counts_ticks(self):
+        scaler, _ = self.make([snap(1, backlog=1.0, depth=2)])
+        scaler.tick(now=0.0)
+        stats = scaler.stats()
+        assert stats["ticks"] == 1
+        assert stats["unit"] == "workers"
+        assert stats["decision_counts"] == {"scale_up": 1}
+
+    def test_context_manager_starts_and_stops_thread(self):
+        scaler, _ = self.make([snap(1)], config=AutoscaleConfig(tick_s=0.01))
+        with scaler as live:
+            assert live._thread is not None and live._thread.is_alive()
+        assert scaler._thread is None
+
+
+# ----------------------------------------------------------------------
+# Planner integration
+# ----------------------------------------------------------------------
+def rmat_request(seed=0, **overrides):
+    payload = {"generator": {"kind": "rmat", "scale": 8, "nnz": 2000, "seed": seed}}
+    payload.update(overrides)
+    return PlanRequest.from_dict(payload)
+
+
+class TestSetWorkers:
+    def test_grow_and_shrink(self, tmp_path):
+        with PlanService(store=PlanStore(tmp_path / "p"), workers=1,
+                         queue_depth=8) as svc:
+            assert svc.set_workers(3) == 3
+            assert svc.workers == 3
+            svc.plan(rmat_request())  # still serves after growing
+            assert svc.set_workers(1) == 1
+            svc.plan(rmat_request(seed=1))  # and after retiring two
+            gauges = svc.metrics.snapshot()["gauges"]
+            assert gauges["workers"] == 1
+
+    def test_rejects_zero(self, tmp_path):
+        with PlanService(store=PlanStore(tmp_path / "p")) as svc:
+            with pytest.raises(ValueError):
+                svc.set_workers(0)
+
+    def test_noop_after_close(self, tmp_path):
+        svc = PlanService(store=PlanStore(tmp_path / "p"), workers=2)
+        svc.close()
+        assert svc.set_workers(5) == 2
+
+    def test_snapshot_reflects_pool(self, tmp_path):
+        with PlanService(store=PlanStore(tmp_path / "p"), workers=2,
+                         queue_depth=8) as svc:
+            s = svc.autoscale_snapshot()
+            assert s.workers == 2
+            assert s.queue_depth == 0
+            assert s.backlog_s == 0.0
+
+
+class TestPredictiveAdmissionFallback:
+    def test_uncalibrated_digest_uses_prior_not_crash(self, tmp_path):
+        """Satellite: a never-seen digest predicts the prior and is counted."""
+        with PlanService(
+            store=PlanStore(tmp_path / "p"), workers=2, queue_depth=8,
+            admission=AdmissionController(),
+        ) as svc:
+            result, served = svc.plan(rmat_request())
+            assert served == "computed"
+            counters = svc.stats()["counters"]
+            assert counters["admission_uncalibrated"] == 1
+            # The worker reported the actual wall back: the same digest
+            # now predicts from the memo, not the prior.
+            estimate = svc.admission.cost_model.predict(
+                "spade-sextans", digest=result.digest
+            )
+            assert estimate.calibrated
+
+    def test_stats_exposes_admission_and_autoscaler(self, tmp_path):
+        with PlanService(
+            store=PlanStore(tmp_path / "p"), workers=1, queue_depth=8,
+            admission=AdmissionController(),
+        ) as svc:
+            svc.attach_autoscaler(
+                Autoscaler(svc.autoscale_snapshot, svc.set_workers)
+            )
+            stats = svc.stats()
+            assert "admission" in stats and "autoscale" in stats
+            assert "admission_uncalibrated" in stats["counters"]
