@@ -79,6 +79,7 @@ and gate against a committed baseline (docs/performance.md)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from contextlib import contextmanager
@@ -406,7 +407,9 @@ def _simulate_command(argv: List[str]) -> int:
 
     preprocess = HotTilesPreprocessor(arch).run(matrix)
     chosen = preprocess.partition.chosen
-    base = simulate(arch, preprocess.tiled, chosen.assignment, chosen.mode)
+    base = simulate(
+        arch, preprocess.tiled, chosen.assignment, chosen.mode, split=chosen.split
+    )
     print(
         f"\nfault-free '{chosen.label}' ({chosen.mode.value}): "
         f"{base.time_s * 1e3:.3f} ms, {base.bytes_total / 1e6:.1f} MB moved"
@@ -437,7 +440,8 @@ def _simulate_command(argv: List[str]) -> int:
     print(f"injecting {schedule!r}")
     try:
         faulted = simulate(
-            arch, preprocess.tiled, chosen.assignment, chosen.mode, faults=schedule
+            arch, preprocess.tiled, chosen.assignment, chosen.mode,
+            faults=schedule, split=chosen.split,
         )
     except SimFault as exc:
         print(f"execution did not survive: {exc}", file=sys.stderr)
@@ -578,6 +582,12 @@ def _partition_command(argv: List[str]) -> int:
         f"{chosen.hot_nnz_fraction(tiled):.1%} of nonzeros; "
         f"predicted runtime {chosen.predicted_time_s * 1e3:.3f} ms"
     )
+    if chosen.split is not None:
+        s = chosen.split
+        print(
+            f"block split: tile {s.tile} cut at row {s.row_cut} "
+            f"({s.hot_nnz} nnz hot / {s.cold_nnz} nnz cold)"
+        )
     cost = result.cost
     print(
         f"preprocessing: scan {cost.scan_s * 1e3:.1f} ms, "
@@ -679,7 +689,9 @@ def _trace_command(argv: List[str]) -> int:
         with tracer.span("pipeline.preprocess", cat="pipeline"):
             preprocess = HotTilesPreprocessor(arch).run(matrix)
         chosen = preprocess.partition.chosen
-        result = simulate(arch, preprocess.tiled, chosen.assignment, chosen.mode)
+        result = simulate(
+            arch, preprocess.tiled, chosen.assignment, chosen.mode, split=chosen.split
+        )
     path = save_chrome_trace(tracer, args.output)
 
     print(
@@ -1435,9 +1447,37 @@ def _bench_command(argv: List[str]) -> int:
             f"regression (default {perfbench.DEFAULT_TOLERANCE})"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        choices=("python", "native"),
+        default=None,
+        help=(
+            "require this simulator backend for the run (the harness "
+            "still pins its tracked python stages; 'native' fails fast "
+            "when numba is missing instead of silently reporting a "
+            "python-only run)"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    report = perfbench.run_bench(quick=args.quick, repeat=args.repeat)
+    from repro.sim import backend as sim_backend
+
+    if args.backend is not None:
+        try:
+            with sim_backend.use_backend(args.backend):
+                sim_backend.active_backend()  # fail fast on native w/o numba
+        except sim_backend.BackendUnavailable as exc:
+            print(f"--backend native: {exc}", file=sys.stderr)
+            return 1
+
+    with (
+        sim_backend.use_backend(args.backend)
+        if args.backend is not None
+        else contextlib.nullcontext()
+    ):
+        if args.backend is not None:
+            print(f"backend: {sim_backend.active_backend()} (requested {args.backend})")
+        report = perfbench.run_bench(quick=args.quick, repeat=args.repeat)
     print(perfbench.format_report(report))
     perfbench.write_report(report, args.output)
     print(f"wrote {args.output}")

@@ -43,6 +43,7 @@ __all__ = [
     "Heuristic",
     "ExecutionMode",
     "PredictedTotals",
+    "TileSplit",
     "PartitionResult",
     "HotTilesResult",
     "HotTilesPartitioner",
@@ -57,12 +58,20 @@ __all__ = [
 
 
 class Heuristic(enum.Enum):
-    """The four HotTiles heuristics (Table II)."""
+    """The four HotTiles heuristics (Table II) plus block-level splitting.
+
+    ``BLOCK_SPLIT`` refines the best whole-tile candidate by splitting
+    the dominating tile at a row boundary across the two worker groups
+    (see :func:`_block_split_candidate`); it is scored with the same
+    final-runtime formulas, so it competes fairly and by construction
+    never scores worse than the candidate it refines.
+    """
 
     MIN_TIME_PARALLEL = "min-time-parallel"
     MIN_TIME_SERIAL = "min-time-serial"
     MIN_BYTE_PARALLEL = "min-byte-parallel"
     MIN_BYTE_SERIAL = "min-byte-serial"
+    BLOCK_SPLIT = "block-split"
 
 
 class ExecutionMode(enum.Enum):
@@ -78,6 +87,17 @@ _HEURISTIC_MODE = {
     Heuristic.MIN_BYTE_PARALLEL: ExecutionMode.PARALLEL,
     Heuristic.MIN_BYTE_SERIAL: ExecutionMode.SERIAL,
 }
+
+#: The four cutoff-sweep heuristics; ``BLOCK_SPLIT`` has no fixed mode --
+#: it refines whichever whole-tile candidate scored best.
+_SWEEP_HEURISTICS = [h for h in Heuristic if h in _HEURISTIC_MODE]
+
+#: The eight per-tile cost arrays (hot/cold x base/first x time/bytes) in
+#: the order :func:`_cost_table` produces them.
+_TABLE_NAMES = (
+    "hot_base_time", "hot_first_time", "hot_base_bytes", "hot_first_bytes",
+    "cold_base_time", "cold_first_time", "cold_base_bytes", "cold_first_bytes",
+)
 
 
 @dataclass(frozen=True)
@@ -96,6 +116,25 @@ class PredictedTotals:
 
 
 @dataclass(frozen=True)
+class TileSplit:
+    """Row-aligned subdivision of one tile across the two worker groups.
+
+    The tile's nonzeros are stored row-major within the tile permutation,
+    so a split is fully described by a prefix length: the first
+    ``hot_nnz`` nonzeros (rows below ``row_cut``) execute on the hot
+    group, the remaining ``cold_nnz`` (rows from ``row_cut`` up) on the
+    cold group.  The cut always falls on a row boundary, keeping the two
+    sides race-free at row granularity like ordinary same-panel hot/cold
+    tiles.
+    """
+
+    tile: int  #: index of the split tile in the tiling
+    hot_nnz: int  #: leading row-major nonzeros sent to the hot group
+    cold_nnz: int  #: trailing nonzeros sent to the cold group
+    row_cut: int  #: first absolute matrix row of the cold-side block
+
+
+@dataclass(frozen=True)
 class PartitionResult:
     """One candidate partitioning with its final predicted runtime."""
 
@@ -104,6 +143,11 @@ class PartitionResult:
     mode: ExecutionMode
     predicted_time_s: float
     totals: PredictedTotals
+    #: block-level refinement: when set, ``assignment[split.tile]`` is
+    #: True and the tile's trailing ``split.cold_nnz`` nonzeros go to the
+    #: cold group instead (``repro.sim.worker_sim.build_plans`` honors
+    #: this via ``split=``).
+    split: Optional[TileSplit] = None
 
     @property
     def hot_tile_count(self) -> int:
@@ -114,7 +158,10 @@ class PartitionResult:
         total = tiled.stats.nnz.sum()
         if total == 0:
             return 0.0
-        return float(tiled.stats.nnz[self.assignment].sum() / total)
+        hot = int(tiled.stats.nnz[self.assignment].sum())
+        if self.split is not None:
+            hot -= self.split.cold_nnz
+        return float(hot / total)
 
 
 @dataclass(frozen=True)
@@ -139,9 +186,21 @@ def first_of_type_masks(
     n = tiled.n_tiles
     if assignment.shape != (n,):
         raise ValueError(f"assignment must have shape ({n},)")
+    return _first_masks(tiled.stats.tile_row, assignment)
+
+
+def _first_masks(
+    panels: np.ndarray, assignment: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`first_of_type_masks` over an explicit panel-id array.
+
+    Used directly when scoring split candidates, whose expanded tilings
+    exist only as arrays (the split tile contributes two entries sharing
+    one panel id).
+    """
+    n = panels.shape[0]
     hot_first = np.zeros(n, dtype=bool)
     cold_first = np.zeros(n, dtype=bool)
-    panels = tiled.stats.tile_row
     for mask, out in ((assignment, hot_first), (~assignment, cold_first)):
         idx = np.flatnonzero(mask)
         if idx.size:
@@ -182,7 +241,7 @@ class HotTilesPartitioner:
             return HotTilesResult(chosen=result, candidates={})
 
         hot_costs, cold_costs = self.tile_costs(tiled)
-        heuristics = list(Heuristic)
+        heuristics = _SWEEP_HEURISTICS
         if self.arch.atomic_updates:
             # No output buffers to merge: serial operation can never win
             # under the model (Sec. V-B), so only Parallel heuristics run.
@@ -194,6 +253,15 @@ class HotTilesPartitioner:
             candidates[heuristic] = self._score(
                 tiled, assignment, _HEURISTIC_MODE[heuristic], heuristic.value
             )
+        base = min(candidates.values(), key=lambda r: r.predicted_time_s)
+        table = dict(
+            zip(_TABLE_NAMES, _cost_table(self, tiled, n, base=(hot_costs, cold_costs)))
+        )
+        candidates[Heuristic.BLOCK_SPLIT] = _block_split_candidate(
+            self, tiled, table, base
+        )
+        # min keeps the first of tied values, and the whole-tile heuristics
+        # precede BLOCK_SPLIT: the split is chosen only when strictly better.
         chosen = min(candidates.values(), key=lambda r: r.predicted_time_s)
         return HotTilesResult(chosen=chosen, candidates=candidates)
 
@@ -513,14 +581,25 @@ class _TileSubset:
 
 
 def _cost_table(
-    partitioner: HotTilesPartitioner, tiled_like, n: int
+    partitioner: HotTilesPartitioner,
+    tiled_like,
+    n: int,
+    base: Optional[Tuple[TileCosts, TileCosts]] = None,
 ) -> Tuple[np.ndarray, ...]:
-    """The eight per-tile cost arrays (hot/cold x base/first x time/bytes)."""
+    """The eight per-tile cost arrays (hot/cold x base/first x time/bytes).
+
+    ``base`` passes in already-computed maximum-reuse ``(hot, cold)``
+    costs (the sweep input) so callers that have them pay only the two
+    first-of-type model evaluations.
+    """
     model, arch = partitioner.model, partitioner.arch
     all_first = np.ones(n, dtype=bool)
-    hb = model.tile_costs(tiled_like, arch.hot.traits)
+    if base is None:
+        hb = model.tile_costs(tiled_like, arch.hot.traits)
+        cb = model.tile_costs(tiled_like, arch.cold.traits)
+    else:
+        hb, cb = base
     hf = model.tile_costs(tiled_like, arch.hot.traits, first_mask=all_first)
-    cb = model.tile_costs(tiled_like, arch.cold.traits)
     cf = model.tile_costs(tiled_like, arch.cold.traits, first_mask=all_first)
     return (
         hb.time_s, hf.time_s, hb.bytes, hf.bytes,
@@ -588,10 +667,7 @@ def repair_plan(
 
     # Compose the full cost table: cached rows for clean tiles, fresh model
     # evaluations for dirty ones only.
-    names = (
-        "hot_base_time", "hot_first_time", "hot_base_bytes", "hot_first_bytes",
-        "cold_base_time", "cold_first_time", "cold_base_bytes", "cold_first_bytes",
-    )
+    names = _TABLE_NAMES
     table = {name: np.empty(n, dtype=np.float64) for name in names}
     for name in names:
         table[name][clean_idx] = getattr(cache, name)[src]
@@ -624,7 +700,7 @@ def repair_plan(
         return _finish(HotTilesResult(chosen=chosen, candidates={}))
 
     n_hw, n_cw = arch.hot.count, arch.cold.count
-    heuristics = list(Heuristic)
+    heuristics = _SWEEP_HEURISTICS
     if arch.atomic_updates:
         heuristics = [Heuristic.MIN_TIME_PARALLEL, Heuristic.MIN_BYTE_PARALLEL]
 
@@ -656,6 +732,13 @@ def repair_plan(
             partitioner, tiled, table, assignment,
             _HEURISTIC_MODE[heuristic], heuristic.value,
         )
+    base = min(candidates.values(), key=lambda r: r.predicted_time_s)
+    # Same split refinement as partition(), over the same table values
+    # (cached rows are bit-identical to fresh ones), so the repaired
+    # result stays bit-equal to a from-scratch partition.
+    candidates[Heuristic.BLOCK_SPLIT] = _block_split_candidate(
+        partitioner, tiled, table, base
+    )
     chosen = min(candidates.values(), key=lambda r: r.predicted_time_s)
     return _finish(HotTilesResult(chosen=chosen, candidates=candidates))
 
@@ -675,7 +758,33 @@ def _score_from_table(
     returns for the assignment-derived first-of-type mask.
     """
     arch = partitioner.arch
-    hot_first, cold_first = first_of_type_masks(tiled, assignment)
+    totals = _table_totals(
+        arch, table, tiled.stats.tile_row, assignment, mode, tiled.matrix.n_rows
+    )
+    return PartitionResult(
+        label=label,
+        assignment=assignment,
+        mode=mode,
+        predicted_time_s=_runtime_from_totals(arch, totals, mode),
+        totals=totals,
+    )
+
+
+def _table_totals(
+    arch: Architecture,
+    table: Dict[str, np.ndarray],
+    panels: np.ndarray,
+    assignment: np.ndarray,
+    mode: ExecutionMode,
+    n_rows: int,
+) -> PredictedTotals:
+    """Readjusted totals for an assignment over an explicit cost table.
+
+    Works on arrays alone (no tiling object) so split candidates -- whose
+    expanded tilings exist only as arrays -- score through the exact same
+    arithmetic as whole-tile candidates.
+    """
+    hot_first, cold_first = _first_masks(panels, assignment)
     ht = np.where(hot_first, table["hot_first_time"], table["hot_base_time"])
     hb = np.where(hot_first, table["hot_first_bytes"], table["hot_base_bytes"])
     ct = np.where(cold_first, table["cold_first_time"], table["cold_base_time"])
@@ -688,21 +797,193 @@ def _score_from_table(
     bc_total = float(cb[~assignment].sum()) if any_cold else 0.0
     t_merge = 0.0
     if mode is ExecutionMode.PARALLEL and any_hot and any_cold:
-        t_merge = arch.merge_time_s(tiled.matrix.n_rows)
-    totals = PredictedTotals(
+        t_merge = arch.merge_time_s(n_rows)
+    return PredictedTotals(
         th_total=th_total,
         tc_total=tc_total,
         bh_total=bh_total,
         bc_total=bc_total,
         t_merge=t_merge,
     )
-    return PartitionResult(
-        label=label,
-        assignment=assignment,
-        mode=mode,
-        predicted_time_s=_runtime_from_totals(arch, totals, mode),
-        totals=totals,
+
+
+class _SplitPartsView:
+    """Model view of the two row-blocks of one split tile.
+
+    :meth:`AnalyticalModel.tile_costs` touches ``stats``, the tile
+    dimensions, ``matrix`` (shape), and the effective heights -- which for
+    sub-tiles are row-range extents carried in ``tile_eff_heights`` (see
+    :func:`repro.core.reuse.effective_tile_heights`).  Unique id counts
+    are computed from the tile's actual nonzeros, so the parts' costs are
+    as honest as any whole tile's.
+    """
+
+    __slots__ = ("stats", "tile_height", "tile_width", "matrix", "tile_eff_heights")
+
+    def __init__(self, tiled: TiledMatrix, tile: int, hot_nnz: int) -> None:
+        s = tiled.stats
+        lo = int(tiled.tile_offsets[tile])
+        hi = int(tiled.tile_offsets[tile + 1])
+        cut = lo + hot_nnz
+        rows_a, rows_b = tiled.rows[lo:cut], tiled.rows[cut:hi]
+        cols_a, cols_b = tiled.cols[lo:cut], tiled.cols[cut:hi]
+        panel = int(s.tile_row[tile])
+        self.stats = TileStats(
+            tile_row=np.array([panel, panel], dtype=s.tile_row.dtype),
+            tile_col=np.array([s.tile_col[tile]] * 2, dtype=s.tile_col.dtype),
+            nnz=np.array([hot_nnz, hi - lo - hot_nnz], dtype=s.nnz.dtype),
+            uniq_rids=np.array(
+                [np.unique(rows_a).size, np.unique(rows_b).size], dtype=s.uniq_rids.dtype
+            ),
+            uniq_cids=np.array(
+                [np.unique(cols_a).size, np.unique(cols_b).size], dtype=s.uniq_cids.dtype
+            ),
+        )
+        self.tile_height = tiled.tile_height
+        self.tile_width = tiled.tile_width
+        self.matrix = tiled.matrix
+        panel_start = panel * tiled.tile_height
+        eff = min(tiled.tile_height, tiled.matrix.n_rows - panel_start)
+        row_cut = int(tiled.rows[cut])
+        self.tile_eff_heights = np.array(
+            [row_cut - panel_start, panel_start + eff - row_cut], dtype=np.float64
+        )
+
+
+def _score_split(
+    partitioner: HotTilesPartitioner,
+    tiled: TiledMatrix,
+    table: Dict[str, np.ndarray],
+    assignment: np.ndarray,
+    tile: int,
+    hot_nnz: int,
+) -> PartitionResult:
+    """Exactly score one split candidate with the final-runtime formulas.
+
+    The split tiling is the original tiling with tile ``tile`` replaced by
+    its two row-blocks (prefix hot, suffix cold); its cost table is the
+    whole-tile table with that row replaced by two freshly modeled rows.
+    Both execution modes are scored (parallel only on atomic machines) and
+    the better one kept.
+    """
+    arch = partitioner.arch
+    lo = int(tiled.tile_offsets[tile])
+    hi = int(tiled.tile_offsets[tile + 1])
+    fresh = _cost_table(partitioner, _SplitPartsView(tiled, tile, hot_nnz), 2)
+    ext = {
+        name: np.concatenate([table[name][:tile], pair, table[name][tile + 1 :]])
+        for name, pair in zip(_TABLE_NAMES, fresh)
+    }
+    panels = tiled.stats.tile_row
+    ext_panels = np.concatenate(
+        [panels[:tile], panels[tile : tile + 1], panels[tile:]]
     )
+    ext_assignment = np.concatenate(
+        [assignment[:tile], [True, False], assignment[tile + 1 :]]
+    )
+    modes = [ExecutionMode.PARALLEL]
+    if not arch.atomic_updates:
+        modes.append(ExecutionMode.SERIAL)
+    best: Optional[Tuple[float, PredictedTotals, ExecutionMode]] = None
+    for mode in modes:
+        totals = _table_totals(
+            arch, ext, ext_panels, ext_assignment, mode, tiled.matrix.n_rows
+        )
+        time_s = _runtime_from_totals(arch, totals, mode)
+        if best is None or time_s < best[0]:
+            best = (time_s, totals, mode)
+    final_assignment = assignment.copy()
+    final_assignment[tile] = True
+    return PartitionResult(
+        label=Heuristic.BLOCK_SPLIT.value,
+        assignment=final_assignment,
+        mode=best[2],
+        predicted_time_s=best[0],
+        totals=best[1],
+        split=TileSplit(
+            tile=tile,
+            hot_nnz=hot_nnz,
+            cold_nnz=(hi - lo) - hot_nnz,
+            row_cut=int(tiled.rows[lo + hot_nnz]),
+        ),
+    )
+
+
+def _block_split_candidate(
+    partitioner: HotTilesPartitioner,
+    tiled: TiledMatrix,
+    table: Dict[str, np.ndarray],
+    base: PartitionResult,
+) -> PartitionResult:
+    """The fifth candidate: refine ``base`` by splitting its dominating tile.
+
+    When one worker group's time term dominates the predicted makespan,
+    the whole-tile heuristics have hit their granularity floor: no whole
+    tile can move without overshooting.  This refinement picks the
+    dominating group's most expensive tile, solves the continuous
+    load-balance relaxation for how many of its nonzeros to hand to the
+    other group, quantizes to the nearest row boundaries (plus quartile
+    fallbacks -- the balance point may lie outside the tile), and scores
+    each row-aligned cut exactly.  The best strictly-improving cut wins;
+    otherwise ``base`` is returned relabeled, so this candidate never
+    scores worse than the best whole-tile heuristic.
+    """
+    fallback = PartitionResult(
+        label=Heuristic.BLOCK_SPLIT.value,
+        assignment=base.assignment,
+        mode=base.mode,
+        predicted_time_s=base.predicted_time_s,
+        totals=base.totals,
+        split=None,
+    )
+    assignment = np.asarray(base.assignment, dtype=bool)
+    totals = base.totals
+    donor_is_hot = totals.th_total >= totals.tc_total
+    donor_idx = np.flatnonzero(assignment if donor_is_hot else ~assignment)
+    if donor_idx.size == 0:
+        return fallback
+    donor_time = table["hot_base_time" if donor_is_hot else "cold_base_time"]
+    tile = int(donor_idx[np.argmax(donor_time[donor_idx])])
+    lo = int(tiled.tile_offsets[tile])
+    hi = int(tiled.tile_offsets[tile + 1])
+    nnz_j = hi - lo
+    if nnz_j < 2:
+        return fallback
+    tile_rows = tiled.rows[lo:hi]
+    # Row-aligned cut positions: prefix lengths ending exactly on a row
+    # boundary (nonzeros are row-major within a tile).
+    bounds = np.flatnonzero(np.diff(tile_rows)) + 1
+    if bounds.size == 0:
+        return fallback  # single-row tile: nothing row-aligned to cut
+
+    # Continuous relaxation: moving k nonzeros from the donor group to the
+    # recipient shrinks the donor's time term at the tile's donor-side
+    # per-nnz rate and grows the recipient's at its own rate; balance at
+    # th(k) == tc(k).
+    n_hw, n_cw = partitioner.arch.hot.count, partitioner.arch.cold.count
+    hot_rate = float(table["hot_base_time"][tile]) / nnz_j / n_hw
+    cold_rate = float(table["cold_base_time"][tile]) / nnz_j / n_cw
+    denom = hot_rate + cold_rate
+    k_star = abs(totals.th_total - totals.tc_total) / denom if denom > 0.0 else 0.0
+    moved = min(max(k_star, 1.0), float(nnz_j - 1))
+    target = (nnz_j - moved) if donor_is_hot else moved  # prefix (hot) size
+
+    probes = set()
+    pos = int(np.searchsorted(bounds, target))
+    for p in (pos - 1, pos):
+        if 0 <= p < bounds.size:
+            probes.add(int(bounds[p]))
+    for q in (0.25, 0.5, 0.75):
+        probes.add(int(bounds[min(bounds.size - 1, int(q * bounds.size))]))
+
+    best: Optional[PartitionResult] = None
+    for cut in sorted(probes):
+        result = _score_split(partitioner, tiled, table, assignment, tile, cut)
+        if best is None or result.predicted_time_s < best.predicted_time_s:
+            best = result
+    if best is not None and best.predicted_time_s < base.predicted_time_s:
+        return best
+    return fallback
 
 
 def _prefix(values: np.ndarray) -> np.ndarray:

@@ -99,6 +99,15 @@ def effective_tile_widths(tiled: TiledMatrix) -> np.ndarray:
 
 
 def effective_tile_heights(tiled: TiledMatrix) -> np.ndarray:
-    """Per-tile effective height: edge tiles are clipped by the matrix."""
+    """Per-tile effective height: edge tiles are clipped by the matrix.
+
+    Tiling *views* that subdivide a tile at a row boundary (block-level
+    splitting, :class:`repro.core.partition.TileSplit`) carry an explicit
+    ``tile_eff_heights`` array -- the sub-tiles of a split share a panel,
+    so their heights are row-range extents, not the panel clip.
+    """
+    override = getattr(tiled, "tile_eff_heights", None)
+    if override is not None:
+        return override
     start = tiled.stats.tile_row * tiled.tile_height
     return np.minimum(tiled.tile_height, tiled.matrix.n_rows - start).astype(np.float64)

@@ -152,7 +152,9 @@ def resilience_sweep(
         arch = factory() if name == "piuma" else factory(scale)
         preprocess = HotTilesPreprocessor(arch).run(matrix)
         chosen = preprocess.partition.chosen
-        base = simulate(arch, preprocess.tiled, chosen.assignment, chosen.mode)
+        base = simulate(
+            arch, preprocess.tiled, chosen.assignment, chosen.mode, split=chosen.split
+        )
         for rate_i, rate in enumerate(rates):
             # One deterministic sub-seed per cell, independent of the
             # other cells, so subsetting arches/rates keeps draws stable.
@@ -167,7 +169,7 @@ def resilience_sweep(
             )
             faulted = simulate(
                 arch, preprocess.tiled, chosen.assignment, chosen.mode,
-                faults=schedule,
+                faults=schedule, split=chosen.split,
             )
             summary = faulted.faults
             rows.append(

@@ -187,7 +187,9 @@ def evaluate_matrix(
             result = partitioner.partition(tiled)
             run.partition = result
             chosen = result.chosen
-            sim = simulate(arch_c, tiled, chosen.assignment, chosen.mode)
+            sim = simulate(
+                arch_c, tiled, chosen.assignment, chosen.mode, split=chosen.split
+            )
             predicted = chosen.predicted_time_s
             frac = chosen.hot_nnz_fraction(tiled)
         else:
@@ -212,8 +214,13 @@ def evaluate_heuristics(
     result = HotTilesPartitioner(arch_c).partition(tiled)
     times: Dict[str, float] = {}
     for heuristic, candidate in result.candidates.items():
-        sim = simulate(arch_c, tiled, candidate.assignment, candidate.mode)
+        sim = simulate(
+            arch_c, tiled, candidate.assignment, candidate.mode, split=candidate.split
+        )
         times[heuristic.value] = sim.time_s
-    chosen_sim = simulate(arch_c, tiled, result.chosen.assignment, result.chosen.mode)
+    chosen_sim = simulate(
+        arch_c, tiled, result.chosen.assignment, result.chosen.mode,
+        split=result.chosen.split,
+    )
     times[HOTTILES] = chosen_sim.time_s
     return times

@@ -73,6 +73,11 @@ class HotTilesPreprocessor:
         partition = self.partitioner.partition(tiled)
         t_partition = time.perf_counter() - t0
 
+        # A block-split plan (partition.chosen.split) still materializes
+        # whole-tile formats: the split tile's data lands in the hot-side
+        # format and the cold group reads its sub-block from it.  Format
+        # bytes are charged per tile either way, so only the simulator
+        # (which honors ``split=``) needs the finer granularity.
         assignment = partition.chosen.assignment
         t0 = time.perf_counter()
         hot_format = (

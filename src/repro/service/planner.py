@@ -850,10 +850,13 @@ class PlanService:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         """One JSON-serializable snapshot (the ``/stats`` payload)."""
+        from repro.sim import backend as sim_backend
+
         snapshot = self.metrics.snapshot()
         snapshot["store"] = self.store.stats()
         snapshot["lineages"] = len(self.lineages)
         snapshot["uptime_s"] = time.time() - self.started_unix
+        snapshot["backend"] = sim_backend.backend_info()
         snapshot["config"] = {
             "workers": self.workers,
             "queue_depth": self.queue_depth,

@@ -1,0 +1,67 @@
+"""Lazy numba compilation of the native kernel sources.
+
+Numba is an *optional* dependency: the tier-1 test suite and every
+pure-Python deployment run without it (``HOTTILES_BACKEND=auto`` falls
+back silently, see :mod:`repro.sim.backend`).  This module is the only
+place that imports numba, and it does so lazily so that merely importing
+:mod:`repro.sim` never pays for (or requires) the JIT toolchain.
+
+``@njit`` is applied with default options -- in particular **no**
+``fastmath`` -- so the compiled kernels execute the same IEEE-754
+operations in the same order as the uncompiled sources in
+:mod:`repro.sim._native.kernels`, keeping results bit-identical to the
+pure-Python engine and the frozen reference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+__all__ = ["numba_available", "numba_version", "compiled_kernels"]
+
+_kernels: Optional[Dict[str, Callable]] = None
+_available: Optional[bool] = None
+
+
+def numba_available() -> bool:
+    """True when numba can be imported in this interpreter."""
+    global _available
+    if _available is None:
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            _available = False
+        else:
+            _available = True
+    return _available
+
+
+def numba_version() -> Optional[str]:
+    """The installed numba version string, or ``None`` when absent."""
+    if not numba_available():
+        return None
+    import numba
+
+    return str(numba.__version__)
+
+
+def compiled_kernels() -> Dict[str, Callable]:
+    """``{"fluid_steps": ..., "lru_scan": ...}`` compiled with ``@njit``.
+
+    Compilation is deferred to the first call and cached for the process
+    (``cache=True`` additionally persists the machine code on disk where
+    the environment allows, so repeated processes skip the JIT warmup).
+    Raises ``ImportError`` when numba is not installed -- callers gate on
+    :func:`numba_available` first.
+    """
+    global _kernels
+    if _kernels is None:
+        from numba import njit
+
+        from repro.sim._native import kernels
+
+        _kernels = {
+            "fluid_steps": njit(cache=True)(kernels.fluid_steps),
+            "lru_scan": njit(cache=True)(kernels.lru_scan),
+        }
+    return _kernels

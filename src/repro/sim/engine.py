@@ -23,9 +23,10 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 import numpy as np
 
 from repro.arch.heterogeneous import Architecture
-from repro.core.partition import ExecutionMode
+from repro.core.partition import ExecutionMode, TileSplit
 from repro.core.traits import WorkerKind
 from repro.obs.tracer import SIM, Tracer, get_tracer
+from repro.sim import backend as _backend
 from repro.sim.memory import RateAllocator
 from repro.sim.worker_sim import InstancePlan, build_plans
 from repro.sparse.tiling import TiledMatrix
@@ -106,6 +107,7 @@ def simulate(
     mode: ExecutionMode = ExecutionMode.PARALLEL,
     untiled_block_rows: Optional[int] = None,
     faults: Optional["FaultSchedule"] = None,
+    split: Optional["TileSplit"] = None,
 ) -> SimResult:
     """Simulate one execution of ``tiled`` under ``assignment``.
 
@@ -114,6 +116,10 @@ def simulate(
     when both produced output on a non-atomic architecture; in serial mode
     the groups run back to back with no merge.  ``untiled_block_rows``
     overrides the row-block scheduling granularity of untiled workers.
+    ``split`` applies a block-level refinement
+    (:class:`repro.core.partition.TileSplit`, from the partitioner's
+    ``block-split`` candidate): the split tile's leading nonzeros run hot,
+    the rest cold -- see :func:`repro.sim.worker_sim.build_plans`.
 
     A non-empty ``faults`` schedule switches to the degraded-mode engine
     (:mod:`repro.sim.faulted`): slowdowns, failures with work
@@ -126,14 +132,16 @@ def simulate(
         from repro.sim.faulted import simulate_faulted
 
         return simulate_faulted(
-            arch, tiled, assignment, mode, untiled_block_rows, faults
+            arch, tiled, assignment, mode, untiled_block_rows, faults, split
         )
     tracer = get_tracer()
     tracer = tracer if tracer.enabled else None
     with (tracer if tracer is not None else _DISABLED).span(
         "sim.simulate", cat="sim", mode=mode.value, tiles=int(tiled.n_tiles)
     ):
-        hot_plans, cold_plans = build_plans(arch, tiled, assignment, untiled_block_rows)
+        hot_plans, cold_plans = build_plans(
+            arch, tiled, assignment, untiled_block_rows, split=split
+        )
         if mode is ExecutionMode.PARALLEL:
             makespan, completions, profile = _run_fluid(
                 arch,
@@ -232,7 +240,18 @@ def _run_fluid(
     worker executes, one ``rebalance`` event per fluid interval, and a
     ``bandwidth`` counter track sampling the aggregate grant.  Tracing
     observes the existing state only -- it never feeds back into the
-    arithmetic, which the differential tests pin down bit for bit."""
+    arithmetic, which the differential tests pin down bit for bit.
+
+    When the native backend is active (:mod:`repro.sim.backend`,
+    ``HOTTILES_BACKEND``) and the run is untraced, the whole event core
+    is delegated to the compiled step machine in
+    :mod:`repro.sim._native`, which produces bit-identical results;
+    traced runs always take the Python loop below so span emission stays
+    in one place."""
+    if tracer is None:
+        native = _backend.native_fluid()
+        if native is not None:
+            return native(arch, plans)
     n = len(plans)
     completions = np.zeros(n, dtype=np.float64)
     if n == 0:
@@ -330,7 +349,7 @@ def _run_fluid(
                 track="memory",
                 cat="sim",
                 active=n_active,
-                demanding=_popcount(demand_key & pos_rate_mask),
+                demanding=(demand_key & pos_rate_mask).bit_count(),
                 granted_bytes_per_s=rates_sum,
             )
             tracer.counter(
@@ -397,7 +416,3 @@ def _run_fluid(
             "bandwidth", 0.0, ts=t + t_offset, process=SIM, track="memory"
         )
     return t, completions, tuple(profile)
-
-
-def _popcount(x: int) -> int:
-    return bin(x).count("1")

@@ -43,7 +43,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.arch.heterogeneous import Architecture
-from repro.core.partition import ExecutionMode
+from repro.core.partition import ExecutionMode, TileSplit
 from repro.core.traits import WorkerKind
 from repro.faults.errors import SimFault
 from repro.faults.schedule import (
@@ -83,6 +83,7 @@ def simulate_faulted(
     mode: ExecutionMode,
     untiled_block_rows: Optional[int],
     faults: FaultSchedule,
+    split: Optional[TileSplit] = None,
 ) -> "SimResult":
     """One simulated execution under a non-empty fault schedule."""
     from repro.sim.engine import SimResult, _group_stats, _instance_labels
@@ -91,7 +92,9 @@ def simulate_faulted(
     tracer = get_tracer()
     tracer = tracer if tracer.enabled else None
 
-    hot_plans, cold_plans = build_plans(arch, tiled, assignment, untiled_block_rows)
+    hot_plans, cold_plans = build_plans(
+        arch, tiled, assignment, untiled_block_rows, split=split
+    )
     n_windows = sum(isinstance(e, BandwidthWindow) for e in faults.events)
 
     span_ctx = (

@@ -36,11 +36,12 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.arch.heterogeneous import Architecture
+from repro.core.partition import TileSplit
 from repro.core.problem import Kernel, ProblemSpec
 from repro.core.reuse import effective_tile_heights, effective_tile_widths, sparse_bytes_accessed
 from repro.core.traits import ReuseType, Task, Traversal, WorkerKind, WorkerTraits
 from repro.sim.cache import windowed_lru_misses
-from repro.sparse.tiling import TiledMatrix, concat_ranges
+from repro.sparse.tiling import TiledMatrix, TileStats, concat_ranges
 
 __all__ = ["Chunk", "InstancePlan", "build_plans", "DEFAULT_UNTILED_BLOCK_DIVISOR"]
 
@@ -88,16 +89,27 @@ def build_plans(
     tiled: TiledMatrix,
     assignment: np.ndarray,
     untiled_block_rows: Optional[int] = None,
+    split: Optional[TileSplit] = None,
 ) -> Tuple[List[InstancePlan], List[InstancePlan]]:
     """Schedule tiles onto instances and cost them.
 
     Returns ``(hot_plans, cold_plans)``; a group with zero workers (or no
     assigned tiles) yields an empty list.  ``untiled_block_rows`` overrides
     the row-block granularity for untiled-traversal workers.
+
+    ``split`` applies a :class:`~repro.core.partition.TileSplit`: the split
+    tile's leading ``hot_nnz`` nonzeros run on the hot group, the rest on
+    the cold group.  Internally the split tiling is just the original
+    tiling with one extra cut in ``tile_offsets`` (within a tile the
+    nonzeros are row-major, so a row-aligned split is a prefix/suffix
+    partition), and every scheduling and costing path below works on it
+    unchanged with honest per-part statistics.
     """
     assignment = np.asarray(assignment, dtype=bool)
     if assignment.shape != (tiled.n_tiles,):
         raise ValueError(f"assignment must have shape ({tiled.n_tiles},)")
+    if split is not None:
+        tiled, assignment = _apply_split(tiled, assignment, split)
     if assignment.any() and arch.hot.count == 0:
         raise ValueError("tiles assigned to hot workers but architecture has none")
     if (~assignment).any() and arch.cold.count == 0 and tiled.n_tiles > 0:
@@ -118,6 +130,99 @@ def build_plans(
             ]
         )
     return plans[0], plans[1]
+
+
+class _SplitTiling:
+    """Tiling view with one tile subdivided at a row boundary.
+
+    A :class:`TiledMatrix` stores nonzeros tile-major with row-major order
+    inside each tile, so subdividing tile ``j`` at nonzero prefix ``h`` is
+    exactly one extra cut in ``tile_offsets`` -- the permuted ``rows`` /
+    ``cols`` / ``perm`` arrays are untouched and every segment-based
+    consumer sees a legitimate ``(n_tiles + 1)``-tile tiling.  The two
+    parts share a panel, so their effective heights are row-range extents
+    carried in ``tile_eff_heights`` (honored by
+    :func:`repro.core.reuse.effective_tile_heights`).
+    """
+
+    __slots__ = (
+        "rows", "cols", "perm", "matrix", "tile_height", "tile_width",
+        "n_panel_cols", "n_tiles", "tile_offsets", "stats",
+        "tile_eff_heights", "_base",
+    )
+
+    def __init__(self, tiled: TiledMatrix, split: TileSplit) -> None:
+        j = split.tile
+        lo = int(tiled.tile_offsets[j])
+        hi = int(tiled.tile_offsets[j + 1])
+        cut = lo + split.hot_nnz
+        self._base = tiled
+        self.rows = tiled.rows
+        self.cols = tiled.cols
+        self.perm = tiled.perm
+        self.matrix = tiled.matrix
+        self.tile_height = tiled.tile_height
+        self.tile_width = tiled.tile_width
+        self.n_panel_cols = tiled.n_panel_cols
+        self.n_tiles = tiled.n_tiles + 1
+        self.tile_offsets = np.insert(tiled.tile_offsets, j + 1, cut)
+        s = tiled.stats
+
+        def dup(arr: np.ndarray, pair) -> np.ndarray:
+            return np.concatenate(
+                [arr[:j], np.asarray(pair, dtype=arr.dtype), arr[j + 1 :]]
+            )
+
+        self.stats = TileStats(
+            tile_row=dup(s.tile_row, [s.tile_row[j]] * 2),
+            tile_col=dup(s.tile_col, [s.tile_col[j]] * 2),
+            nnz=dup(s.nnz, [split.hot_nnz, split.cold_nnz]),
+            uniq_rids=dup(
+                s.uniq_rids,
+                [np.unique(tiled.rows[lo:cut]).size, np.unique(tiled.rows[cut:hi]).size],
+            ),
+            uniq_cids=dup(
+                s.uniq_cids,
+                [np.unique(tiled.cols[lo:cut]).size, np.unique(tiled.cols[cut:hi]).size],
+            ),
+        )
+        panel_start = int(s.tile_row[j]) * tiled.tile_height
+        eff = min(tiled.tile_height, tiled.matrix.n_rows - panel_start)
+        self.tile_eff_heights = dup(
+            effective_tile_heights(tiled),
+            [split.row_cut - panel_start, panel_start + eff - split.row_cut],
+        )
+
+    def inverse_perm(self) -> np.ndarray:
+        return self._base.inverse_perm()
+
+
+def _apply_split(
+    tiled: TiledMatrix, assignment: np.ndarray, split: TileSplit
+) -> Tuple["_SplitTiling", np.ndarray]:
+    """Validate a split and expand (tiling, assignment) to n_tiles + 1."""
+    j = split.tile
+    if not 0 <= j < tiled.n_tiles:
+        raise ValueError(f"split tile {j} out of range for {tiled.n_tiles} tiles")
+    lo = int(tiled.tile_offsets[j])
+    hi = int(tiled.tile_offsets[j + 1])
+    if split.hot_nnz <= 0 or split.cold_nnz <= 0 or split.hot_nnz + split.cold_nnz != hi - lo:
+        raise ValueError(
+            f"split sizes ({split.hot_nnz}, {split.cold_nnz}) must be positive "
+            f"and sum to tile nnz {hi - lo}"
+        )
+    cut = lo + split.hot_nnz
+    if tiled.rows[cut - 1] >= tiled.rows[cut]:
+        raise ValueError("split cut does not fall on a row boundary")
+    if int(tiled.rows[cut]) != split.row_cut:
+        raise ValueError(
+            f"split row_cut {split.row_cut} disagrees with tile data "
+            f"(first cold row is {int(tiled.rows[cut])})"
+        )
+    if not assignment[j]:
+        raise ValueError("split tile must be assigned hot (prefix-hot convention)")
+    expanded = np.concatenate([assignment[:j], [True, False], assignment[j + 1 :]])
+    return _SplitTiling(tiled, split), expanded
 
 
 # ----------------------------------------------------------------------

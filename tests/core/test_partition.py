@@ -108,6 +108,7 @@ class TestPartitioning:
         assert set(result.candidates) == {
             Heuristic.MIN_TIME_PARALLEL,
             Heuristic.MIN_BYTE_PARALLEL,
+            Heuristic.BLOCK_SPLIT,
         }
         assert all(
             r.mode is ExecutionMode.PARALLEL for r in result.candidates.values()
@@ -153,9 +154,17 @@ class TestPartitioning:
         assert tiled.n_tiles <= 9
         partitioner = HotTilesPartitioner(tiny_arch())
         oracle = exhaustive_partition(partitioner, tiled)
-        chosen = partitioner.partition(tiled).chosen
-        assert chosen.predicted_time_s >= oracle.predicted_time_s - 1e-15
-        assert chosen.predicted_time_s <= 1.6 * oracle.predicted_time_s
+        result = partitioner.partition(tiled)
+        # The oracle enumerates whole-tile assignments only, so compare it
+        # against the best whole-tile candidate; a block split may beat it.
+        whole = min(
+            r.predicted_time_s
+            for h, r in result.candidates.items()
+            if h is not Heuristic.BLOCK_SPLIT
+        )
+        assert whole >= oracle.predicted_time_s - 1e-15
+        assert whole <= 1.6 * oracle.predicted_time_s
+        assert result.chosen.predicted_time_s <= whole
 
     def test_exhaustive_rejects_large_instances(self):
         partitioner = HotTilesPartitioner(tiny_arch())

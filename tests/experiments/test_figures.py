@@ -75,7 +75,9 @@ class TestFigure12:
         assert scales == {1, 4}
         strategies = {r[1] for r in result.rows if r[0] == 4}
         assert "hottiles" in strategies
-        assert len(strategies) == 5
+        # Four whole-tile heuristics + block-split + the hottiles pick.
+        assert len(strategies) == 6
+        assert "block-split" in strategies
         assert set(result.bandwidth_gbs) == {1, 4}
         assert all(v > 0 for v in result.bandwidth_gbs.values())
 

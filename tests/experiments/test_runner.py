@@ -148,9 +148,9 @@ class TestEvaluateHeuristics:
     def test_all_heuristics_timed(self, matrix):
         times = evaluate_heuristics(tiny_arch(), matrix, calibrate=False)
         assert HOTTILES in times
-        assert len(times) == 5  # four heuristics + the selection
+        assert len(times) == 6  # four heuristics + block-split + the selection
         assert all(t > 0 for t in times.values())
 
     def test_parallel_only_on_atomic_arch(self, matrix):
         times = evaluate_heuristics(tiny_arch(atomic=True), matrix, calibrate=False)
-        assert len(times) == 3  # two parallel heuristics + selection
+        assert len(times) == 4  # two parallel heuristics + block-split + selection

@@ -37,6 +37,40 @@ class TestWindowedLru:
             )
 
 
+class TestEdgeCases:
+    """Degenerate inputs, exercised symmetrically on both kernels."""
+
+    def test_empty_sequence_both_kernels(self):
+        empty = np.zeros(0, dtype=np.int64)
+        for cap in (0, 1, 8):
+            assert windowed_lru_misses(empty, cap).shape == (0,)
+            assert exact_lru_misses(empty, cap).shape == (0,)
+
+    def test_nonpositive_capacity_disables_cache(self):
+        ids = np.array([3, 3, 3])
+        for cap in (0, -1):
+            assert windowed_lru_misses(ids, cap).all()
+            assert exact_lru_misses(ids, cap).all()
+
+    def test_capacity_one_identical_ids(self):
+        # A single-row cache still serves back-to-back repeats.
+        ids = np.full(16, 9, dtype=np.int64)
+        expected = [True] + [False] * 15
+        assert windowed_lru_misses(ids, 1).tolist() == expected
+        assert exact_lru_misses(ids, 1).tolist() == expected
+
+    def test_capacity_one_distinct_ids_all_miss(self):
+        ids = np.array([1, 2, 1, 2])
+        assert windowed_lru_misses(ids, 1).all()
+        assert exact_lru_misses(ids, 1).all()
+
+    def test_all_identical_ids_any_capacity(self):
+        ids = np.full(8, 4, dtype=np.int64)
+        for cap in (1, 2, 100):
+            assert windowed_lru_misses(ids, cap).sum() == 1
+            assert exact_lru_misses(ids, cap).sum() == 1
+
+
 class TestExactLru:
     def test_classic_eviction(self):
         # Capacity 2: access 1,2,3 evicts 1, so the second 1 misses.

@@ -1,0 +1,240 @@
+"""Native (compiled) backend: kernel bit-identity + backend selection.
+
+Two halves:
+
+* **Kernel differential** -- the un-jitted kernel sources in
+  :mod:`repro.sim._native.kernels` (``jit=False``) must be bit-identical
+  to the pure-Python engine over the same matrix/arch/assignment grid as
+  ``test_perf_differential.py``.  This pins the kernel *logic* on every
+  machine, numba or not; the CI ``native-smoke`` job re-runs the whole
+  suite with ``HOTTILES_BACKEND=native`` to pin the *compiled* artifacts.
+* **Backend selection** -- ``HOTTILES_BACKEND`` / ``set_backend`` /
+  ``use_backend`` resolution, the ``BackendUnavailable`` contract for an
+  unsatisfiable explicit ``native`` request, and the JSON snapshot that
+  ``/stats`` and ``BENCH_PERF.json`` embed.
+
+Exact ``==`` throughout, no tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.configs import spade_sextans_pcie
+from repro.core.partition import ExecutionMode
+from repro.sim import _native
+from repro.sim import backend as sim_backend
+from repro.sim import cache
+from repro.sim.engine import _run_fluid, simulate
+from repro.sim.worker_sim import build_plans
+from repro.sparse.tiling import TiledMatrix
+
+MATRIX_FIXTURES = ["tiny_matrix", "small_rmat", "small_uniform", "small_banded"]
+ASSIGNMENT_FRACS = [0.0, 0.3, 1.0]
+
+
+@pytest.fixture(scope="session")
+def pcie_arch():
+    return spade_sextans_pcie(4)
+
+
+ARCH_FIXTURES = ["spade_sextans_arch", "piuma_arch", "pcie_arch"]
+
+
+def _assignment(tiled, frac, seed=5):
+    if frac == 0.0:
+        return np.zeros(tiled.n_tiles, dtype=bool)
+    if frac == 1.0:
+        return np.ones(tiled.n_tiles, dtype=bool)
+    rng = np.random.default_rng(seed)
+    return rng.random(tiled.n_tiles) < frac
+
+
+def _python_fluid(arch, plans):
+    with sim_backend.use_backend("python"):
+        return _run_fluid(arch, plans)
+
+
+def _assert_fluid_identical(native, python):
+    n_time, n_completions, n_profile = native
+    p_time, p_completions, p_profile = python
+    assert n_time == p_time
+    assert n_completions.tolist() == p_completions.tolist()
+    assert n_profile == p_profile
+
+
+class TestFluidKernelDifferential:
+    """Un-jitted ``_native.run_fluid`` vs the Python event loop."""
+
+    @pytest.mark.parametrize("frac", ASSIGNMENT_FRACS)
+    @pytest.mark.parametrize("arch_fixture", ARCH_FIXTURES)
+    @pytest.mark.parametrize("fixture", MATRIX_FIXTURES)
+    def test_bit_identical_on_differential_grid(
+        self, fixture, arch_fixture, frac, request
+    ):
+        matrix = request.getfixturevalue(fixture)
+        arch = request.getfixturevalue(arch_fixture)
+        tiled = TiledMatrix(matrix, arch.tile_height, arch.tile_width)
+        assignment = _assignment(tiled, frac)
+        hot, cold = build_plans(arch, tiled, assignment)
+
+        # Parallel-mode shape (everything at once) and each side alone
+        # (the serial-mode sub-runs) -- covers PCIe-capped and
+        # single-kind demand sets.
+        for plans in (hot + cold, hot, cold):
+            _assert_fluid_identical(
+                _native.run_fluid(arch, plans, jit=False),
+                _python_fluid(arch, plans),
+            )
+
+    def test_empty_plan_list(self, spade_sextans_arch):
+        t, completions, profile = _native.run_fluid(
+            spade_sextans_arch, [], jit=False
+        )
+        assert t == 0.0
+        assert completions.shape == (0,)
+        assert profile == ()
+
+
+class TestLruKernelDifferential:
+    """Un-jitted ``_native.lru_misses`` vs the vectorized window kernel."""
+
+    @pytest.mark.parametrize("capacity", [1, 2, 7, 64, 10_000])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_sequences(self, capacity, seed):
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, 200, size=2_000).astype(np.int64)
+        with sim_backend.use_backend("python"):
+            expected = cache.windowed_lru_misses(ids, capacity)
+        got = _native.lru_misses(ids, capacity, int(ids.max()), jit=False)
+        assert got.tolist() == expected.tolist()
+
+    @pytest.mark.parametrize(
+        "ids",
+        [
+            [7, 7, 7, 7],
+            [5, 1, 2, 5],
+            [1, 2, 3, 1, 2, 3],
+            [0],
+        ],
+    )
+    @pytest.mark.parametrize("capacity", [1, 2, 3])
+    def test_structured_sequences(self, ids, capacity):
+        arr = np.array(ids, dtype=np.int64)
+        with sim_backend.use_backend("python"):
+            expected = cache.windowed_lru_misses(arr, capacity)
+        got = _native.lru_misses(arr, capacity, int(arr.max()), jit=False)
+        assert got.tolist() == expected.tolist()
+
+    def test_cache_entrypoint_guards_dense_limit(self, monkeypatch):
+        """Ids beyond ``DENSE_ID_LIMIT`` must take the numpy path even
+        when the native backend is nominally active."""
+        ids = np.array([_native.DENSE_ID_LIMIT + 5, 0], dtype=np.int64)
+        with sim_backend.use_backend("python"):
+            expected = cache.windowed_lru_misses(ids, 4)
+        # Fake an active native backend whose kernel would blow up if
+        # called with an over-limit id range.
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("dense kernel called past DENSE_ID_LIMIT")
+
+        monkeypatch.setattr(sim_backend, "native_lru", lambda: boom)
+        assert cache.windowed_lru_misses(ids, 4).tolist() == expected.tolist()
+
+
+class TestBackendSelection:
+    def test_defaults_to_auto(self):
+        assert sim_backend.requested_backend() == "auto"
+        expected = "native" if sim_backend.native_available() else "python"
+        assert sim_backend.active_backend() == expected
+
+    def test_invalid_name_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            sim_backend.set_backend("fortran")
+        assert sim_backend.requested_backend() == "auto"
+
+    def test_env_var_respected(self, monkeypatch):
+        monkeypatch.setenv(sim_backend.ENV_VAR, "python")
+        assert sim_backend.requested_backend() == "python"
+        assert sim_backend.active_backend() == "python"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(sim_backend.ENV_VAR, "python")
+        with sim_backend.use_backend("auto"):
+            assert sim_backend.requested_backend() == "auto"
+        assert sim_backend.requested_backend() == "python"
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with sim_backend.use_backend("python"):
+                assert sim_backend.requested_backend() == "python"
+                raise RuntimeError("boom")
+        assert sim_backend.requested_backend() == "auto"
+
+    def test_explicit_native_without_numba_raises(self):
+        if sim_backend.native_available():
+            pytest.skip("numba present: explicit native is satisfiable")
+        with sim_backend.use_backend("native"):
+            with pytest.raises(sim_backend.BackendUnavailable, match="numba"):
+                sim_backend.active_backend()
+
+    def test_native_hooks_inactive_under_python(self):
+        with sim_backend.use_backend("python"):
+            assert sim_backend.native_fluid() is None
+            assert sim_backend.native_lru() is None
+
+    def test_backend_info_never_raises(self):
+        with sim_backend.use_backend("native"):
+            info = sim_backend.backend_info()
+        assert info["requested"] == "native"
+        if sim_backend.native_available():
+            assert info["active"] == "native"
+            assert info["numba_version"]
+        else:
+            assert info["active"] == "python"
+            assert "numba" in info["error"]
+            assert info["numba_version"] is None
+
+    def test_backend_info_is_json_safe(self):
+        import json
+
+        json.dumps(sim_backend.backend_info())
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("mode", [ExecutionMode.PARALLEL, ExecutionMode.SERIAL])
+    def test_simulate_matches_python_under_active_backend(
+        self, small_rmat, spade_sextans_arch, mode
+    ):
+        """Whatever ``auto`` resolves to must reproduce the python run
+        bit for bit (trivial without numba, the real pin in native-smoke)."""
+        arch = spade_sextans_arch
+        tiled = TiledMatrix(small_rmat, arch.tile_height, arch.tile_width)
+        assignment = _assignment(tiled, 0.3)
+        with sim_backend.use_backend("python"):
+            expected = simulate(arch, tiled, assignment, mode)
+        with sim_backend.use_backend("auto"):
+            got = simulate(arch, tiled, assignment, mode)
+        assert got.time_s == expected.time_s
+        assert got.merge_time_s == expected.merge_time_s
+        assert got.hot == expected.hot
+        assert got.cold == expected.cold
+        assert got.bandwidth_profile == expected.bandwidth_profile
+
+    @pytest.mark.skipif(
+        not sim_backend.native_available(), reason="requires numba"
+    )
+    def test_jitted_kernels_match_sources(self, small_rmat, piuma_arch):
+        """Compiled artifacts vs their own sources (numba machines only)."""
+        arch = piuma_arch
+        tiled = TiledMatrix(small_rmat, arch.tile_height, arch.tile_width)
+        hot, cold = build_plans(arch, tiled, _assignment(tiled, 0.3))
+        plans = hot + cold
+        _assert_fluid_identical(
+            _native.run_fluid(arch, plans, jit=True),
+            _native.run_fluid(arch, plans, jit=False),
+        )
+        rng = np.random.default_rng(3)
+        ids = rng.integers(0, 500, size=5_000).astype(np.int64)
+        assert (
+            _native.lru_misses(ids, 32, int(ids.max()), jit=True).tolist()
+            == _native.lru_misses(ids, 32, int(ids.max()), jit=False).tolist()
+        )
