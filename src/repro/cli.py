@@ -120,7 +120,7 @@ _SINGLE_MATRIX = {"fig05"}
 #: Non-experiment subcommands (the experiment ids live in EXPERIMENTS).
 SUBCOMMANDS = (
     "partition", "sweep", "simulate", "resilience", "serve", "loadgen",
-    "delta-replay", "cache", "trace", "bench",
+    "delta-replay", "cache", "trace", "bench", "fidelity",
 )
 
 
@@ -151,6 +151,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _trace_command(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_command(argv[1:])
+    if argv and argv[0] == "fidelity":
+        from repro.experiments.fidelity import main as fidelity_main
+
+        return fidelity_main(argv[1:])
     return _experiment_command(argv)
 
 
@@ -241,6 +245,7 @@ def _experiment_command(argv: List[str]) -> int:
         print("delta-replay  seeded delta stream: incremental repair vs scratch")
         print("cache      experiment result cache maintenance (stats, clear)")
         print("trace      profile one run into a Chrome-trace/Perfetto JSON")
+        print("fidelity   predicted-vs-simulated error sweep (contention vs naive)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -577,16 +582,23 @@ def _partition_command(argv: List[str]) -> int:
         f"\npartitioned {tiled.n_tiles} non-empty tiles in {elapsed * 1e3:.1f} ms: "
         f"heuristic '{chosen.label}' ({chosen.mode.value} execution)"
     )
+    naive_s = (
+        chosen.naive_time_s
+        if chosen.naive_time_s is not None
+        else chosen.predicted_time_s
+    )
     print(
         f"hot: {int(chosen.assignment.sum())} tiles / "
         f"{chosen.hot_nnz_fraction(tiled):.1%} of nonzeros; "
-        f"predicted runtime {chosen.predicted_time_s * 1e3:.3f} ms"
+        f"predicted runtime {chosen.predicted_time_s * 1e3:.3f} ms "
+        f"[{chosen.scorer} scorer; naive model: {naive_s * 1e3:.3f} ms]"
     )
     if chosen.split is not None:
         s = chosen.split
         print(
             f"block split: tile {s.tile} cut at row {s.row_cut} "
-            f"({s.hot_nnz} nnz hot / {s.cold_nnz} nnz cold)"
+            f"({s.hot_nnz} nnz hot / {s.cold_nnz} nnz cold), "
+            f"selected by the {chosen.scorer} scorer"
         )
     cost = result.cost
     print(

@@ -24,6 +24,15 @@ the shared-bandwidth term, and the merge cost -- and the best one wins.
 
 On architectures with race-free atomic updates (PIUMA) there are no output
 buffers, ``t_merge`` is zero, and only the Parallel heuristics are used.
+
+On machines with a PCIe link in front of the hot group the final-runtime
+formulas are, by default, the contention-aware evaluator of
+:mod:`repro.core.contention` instead of the plain Fig. 8 forms -- the
+naive formulas over-credit the PCIe-capped hot side (they treat the link
+as a free-standing ``max`` term while the simulator water-fills it in
+series with DRAM and the instances' own ports).  The
+``contention_aware`` flag on :class:`HotTilesPartitioner` selects the
+scorer; without a PCIe link both scorers are bit-identical.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.arch.heterogeneous import Architecture
+from repro.core import contention
 from repro.core.model import AnalyticalModel, TileCosts
 from repro.core.traits import WorkerKind
 from repro.sparse.tiling import TiledMatrix, TileStats
@@ -148,6 +158,12 @@ class PartitionResult:
     #: cold group instead (``repro.sim.worker_sim.build_plans`` honors
     #: this via ``split=``).
     split: Optional[TileSplit] = None
+    #: the plain Fig. 8 prediction for this candidate; equals
+    #: ``predicted_time_s`` when the naive scorer selected the plan.
+    naive_time_s: Optional[float] = None
+    #: which evaluator produced ``predicted_time_s``: ``"naive"`` or
+    #: ``"contention"`` (:mod:`repro.core.contention`).
+    scorer: str = "naive"
 
     @property
     def hot_tile_count(self) -> int:
@@ -213,12 +229,31 @@ class HotTilesPartitioner:
     """Runs the HotTiles modeling + partitioning pipeline for one machine.
 
     ``cache_aware`` enables the Sec. X model extension (see
-    :class:`~repro.core.model.AnalyticalModel`).
+    :class:`~repro.core.model.AnalyticalModel`).  ``contention_aware``
+    selects the :mod:`repro.core.contention` evaluator for the final
+    runtime formulas (default); it only changes scores on architectures
+    with a PCIe link -- without one it is bit-identical to the naive
+    Fig. 8 forms, which remain available with ``contention_aware=False``.
     """
 
-    def __init__(self, arch: Architecture, cache_aware: bool = False) -> None:
+    def __init__(
+        self,
+        arch: Architecture,
+        cache_aware: bool = False,
+        contention_aware: bool = True,
+    ) -> None:
         self.arch = arch
         self.model = AnalyticalModel(arch.problem, cache_aware=cache_aware)
+        self.contention_aware = bool(contention_aware)
+
+    def _contended(self) -> bool:
+        """Whether the contention evaluator actually differs from naive."""
+        return self.contention_aware and self.arch.pcie_bw_bytes_per_sec is not None
+
+    @property
+    def scorer(self) -> str:
+        """Label of the evaluator selecting plans: 'naive' or 'contention'."""
+        return "contention" if self._contended() else "naive"
 
     # ------------------------------------------------------------------
     def tile_costs(self, tiled: TiledMatrix) -> Tuple[TileCosts, TileCosts]:
@@ -293,13 +328,15 @@ class HotTilesPartitioner:
         mode: ExecutionMode,
         label: str,
     ) -> PartitionResult:
-        time_s, totals = self.predicted_runtime(tiled, assignment, mode)
+        time_s, naive_s, totals = self._predicted(tiled, assignment, mode)
         return PartitionResult(
             label=label,
             assignment=assignment,
             mode=mode,
             predicted_time_s=time_s,
             totals=totals,
+            naive_time_s=naive_s,
+            scorer=self.scorer,
         )
 
     # ------------------------------------------------------------------
@@ -315,11 +352,38 @@ class HotTilesPartitioner:
         then applies the parallel formula
         ``max(max(th, tc), b_total / BW) + t_merge`` or the serial formula
         ``max(th, bh / BW) + max(tc, bc / BW)``.  A PCIe link in front of
-        the hot group adds a ``bh / BW_pcie`` term to the hot side.
+        the hot group adds a ``bh / BW_pcie`` term to the hot side --
+        and, under the default contention-aware scorer, the full
+        :func:`repro.core.contention.contended_runtime` refinement.
         """
+        time_s, _naive, totals = self._predicted(tiled, assignment, mode)
+        return time_s, totals
+
+    def _predicted(
+        self,
+        tiled: TiledMatrix,
+        assignment: np.ndarray,
+        mode: ExecutionMode,
+    ) -> Tuple[float, float, PredictedTotals]:
+        """``(scorer time, naive time, totals)`` for one assignment."""
         assignment = np.asarray(assignment, dtype=bool)
-        totals = self._totals(tiled, assignment, mode)
-        return _runtime_from_totals(self.arch, totals, mode), totals
+        totals, hot_times, cold_times = self._totals_with_times(
+            tiled, assignment, mode
+        )
+        naive_s = contention.naive_runtime(
+            self.arch, totals, mode is ExecutionMode.SERIAL
+        )
+        if not self._contended():
+            return naive_s, naive_s, totals
+        hot_floor, cold_floor = contention.group_floors(
+            self.arch, hot_times, cold_times,
+            tiled.stats.uniq_rids, tiled.stats.tile_row, assignment,
+        )
+        time_s = contention.contended_runtime(
+            self.arch, totals, mode is ExecutionMode.SERIAL,
+            hot_floor=hot_floor, cold_floor=cold_floor,
+        )
+        return time_s, naive_s, totals
 
     def predict_homogeneous(self, tiled: TiledMatrix, kind: WorkerKind) -> float:
         """Predicted runtime of a homogeneous execution (Fig. 17 baselines)."""
@@ -330,6 +394,13 @@ class HotTilesPartitioner:
     def _totals(
         self, tiled: TiledMatrix, assignment: np.ndarray, mode: ExecutionMode
     ) -> PredictedTotals:
+        totals, _, _ = self._totals_with_times(tiled, assignment, mode)
+        return totals
+
+    def _totals_with_times(
+        self, tiled: TiledMatrix, assignment: np.ndarray, mode: ExecutionMode
+    ) -> Tuple[PredictedTotals, np.ndarray, np.ndarray]:
+        """Totals plus the per-tile readjusted time arrays behind them."""
         hot_first, cold_first = first_of_type_masks(tiled, assignment)
         hot_adj = self.model.tile_costs(tiled, self.arch.hot.traits, first_mask=hot_first)
         cold_adj = self.model.tile_costs(tiled, self.arch.cold.traits, first_mask=cold_first)
@@ -342,13 +413,14 @@ class HotTilesPartitioner:
         t_merge = 0.0
         if mode is ExecutionMode.PARALLEL and any_hot and any_cold:
             t_merge = self.arch.merge_time_s(tiled.matrix.n_rows)
-        return PredictedTotals(
+        totals = PredictedTotals(
             th_total=th_total,
             tc_total=tc_total,
             bh_total=bh_total,
             bc_total=bc_total,
             t_merge=t_merge,
         )
+        return totals, hot_adj.time_s, cold_adj.time_s
 
 
 def exhaustive_partition(
@@ -423,36 +495,49 @@ def exhaustive_partition(
         byte_tile = np.where(first, full.bytes[None, :], base.bytes[None, :])
         t = (time_tile * chosen).sum(axis=1) / max(count, 1)
         b = (byte_tile * chosen).sum(axis=1)
-        return np.where(active, t, 0.0), np.where(active, b, 0.0)
+        return np.where(active, t, 0.0), np.where(active, b, 0.0), time_tile
 
-    th_total, bh_total = group_totals(
+    th_total, bh_total, hot_time_tile = group_totals(
         hot_first, A, h_base, h_full, arch.hot.count, any_hot
     )
-    tc_total, bc_total = group_totals(
+    tc_total, bc_total, cold_time_tile = group_totals(
         cold_first, ~A, c_base, c_full, arch.cold.count, any_cold
     )
 
-    bw = arch.mem_bw_bytes_per_sec
-    pcie = arch.pcie_bw_bytes_per_sec
-    hot_pcie_time = bh_total / pcie if pcie else np.zeros(n_assign)
+    # Scheduling-granularity floors for the contention-aware scorer;
+    # None (unused) when the naive formulas apply.
+    hot_floor = cold_floor = None
+    if partitioner._contended():
+        hot_floor = contention.granularity_floor_batch(
+            hot_time_tile, A, tiled.stats.uniq_rids, panel_starts,
+            traits=arch.hot.traits, n_instances=arch.hot.count,
+            tile_height=arch.tile_height,
+        )
+        cold_floor = contention.granularity_floor_batch(
+            cold_time_tile, ~A, tiled.stats.uniq_rids, panel_starts,
+            traits=arch.cold.traits, n_instances=arch.cold.count,
+            tile_height=arch.tile_height,
+        )
+
+    def batch_score(serial: bool, t_merge: np.ndarray) -> np.ndarray:
+        if partitioner._contended():
+            return contention.contended_runtime_batch(
+                arch, th_total, tc_total, bh_total, bc_total, t_merge,
+                serial, hot_floor=hot_floor, cold_floor=cold_floor,
+            )
+        return contention.naive_runtime_batch(
+            arch, th_total, tc_total, bh_total, bc_total, t_merge, serial
+        )
+
     scores = []
     for mode in modes:
         if mode is ExecutionMode.PARALLEL:
             t_merge = np.where(
                 any_hot & any_cold, arch.merge_time_s(tiled.matrix.n_rows), 0.0
             )
-            scores.append(
-                np.maximum(
-                    np.maximum(th_total, tc_total),
-                    np.maximum((bh_total + bc_total) / bw, hot_pcie_time),
-                )
-                + t_merge
-            )
+            scores.append(batch_score(False, t_merge))
         else:
-            scores.append(
-                np.maximum(np.maximum(th_total, bh_total / bw), hot_pcie_time)
-                + np.maximum(tc_total, bc_total / bw)
-            )
+            scores.append(batch_score(True, np.zeros(n_assign)))
     # Flatten bit-major, mode-minor -- the scalar loop's evaluation order
     # -- so argmin's first-minimum rule reproduces its strict-< tie-break.
     score = np.stack(scores, axis=1)
@@ -464,32 +549,27 @@ def exhaustive_partition(
     mode = modes[k % len(modes)]
     # Re-score the winner through the scalar path so the returned time and
     # totals are exactly what predicted_runtime reports for it.
-    time_s, totals = partitioner.predicted_runtime(tiled, assignment, mode)
+    time_s, naive_s, totals = partitioner._predicted(tiled, assignment, mode)
     return PartitionResult(
         label="exhaustive",
         assignment=assignment,
         mode=mode,
         predicted_time_s=time_s,
         totals=totals,
+        naive_time_s=naive_s,
+        scorer=partitioner.scorer,
     )
 
 
 def _runtime_from_totals(
     arch: Architecture, totals: PredictedTotals, mode: ExecutionMode
 ) -> float:
-    """Apply the Fig. 8 final-runtime formulas to readjusted totals."""
-    bw = arch.mem_bw_bytes_per_sec
-    pcie = arch.pcie_bw_bytes_per_sec
-    hot_pcie_time = totals.bh_total / pcie if pcie else 0.0
-    if mode is ExecutionMode.PARALLEL:
-        return max(
-            max(totals.th_total, totals.tc_total),
-            totals.b_total / bw,
-            hot_pcie_time,
-        ) + totals.t_merge
-    hot_side = max(totals.th_total, totals.bh_total / bw, hot_pcie_time)
-    cold_side = max(totals.tc_total, totals.bc_total / bw)
-    return hot_side + cold_side
+    """The naive Fig. 8 final-runtime formulas over readjusted totals.
+
+    Kept as the documented fallback scorer; the contention-aware default
+    lives in :func:`repro.core.contention.contended_runtime`.
+    """
+    return contention.naive_runtime(arch, totals, mode is ExecutionMode.SERIAL)
 
 
 # ----------------------------------------------------------------------
@@ -758,16 +838,47 @@ def _score_from_table(
     returns for the assignment-derived first-of-type mask.
     """
     arch = partitioner.arch
-    totals = _table_totals(
+    totals, hot_times, cold_times = _table_totals_with_times(
         arch, table, tiled.stats.tile_row, assignment, mode, tiled.matrix.n_rows
+    )
+    time_s, naive_s = _evaluate_totals(
+        partitioner, totals, mode, hot_times, cold_times,
+        tiled.stats.uniq_rids, tiled.stats.tile_row, assignment,
     )
     return PartitionResult(
         label=label,
         assignment=assignment,
         mode=mode,
-        predicted_time_s=_runtime_from_totals(arch, totals, mode),
+        predicted_time_s=time_s,
         totals=totals,
+        naive_time_s=naive_s,
+        scorer=partitioner.scorer,
     )
+
+
+def _evaluate_totals(
+    partitioner: HotTilesPartitioner,
+    totals: PredictedTotals,
+    mode: ExecutionMode,
+    hot_times: np.ndarray,
+    cold_times: np.ndarray,
+    uniq_rids: np.ndarray,
+    panels: np.ndarray,
+    assignment: np.ndarray,
+) -> Tuple[float, float]:
+    """``(scorer time, naive time)`` for totals backed by per-tile arrays."""
+    arch = partitioner.arch
+    serial = mode is ExecutionMode.SERIAL
+    naive_s = contention.naive_runtime(arch, totals, serial)
+    if not partitioner._contended():
+        return naive_s, naive_s
+    hot_floor, cold_floor = contention.group_floors(
+        arch, hot_times, cold_times, uniq_rids, panels, assignment
+    )
+    time_s = contention.contended_runtime(
+        arch, totals, serial, hot_floor=hot_floor, cold_floor=cold_floor
+    )
+    return time_s, naive_s
 
 
 def _table_totals(
@@ -778,11 +889,27 @@ def _table_totals(
     mode: ExecutionMode,
     n_rows: int,
 ) -> PredictedTotals:
+    totals, _, _ = _table_totals_with_times(
+        arch, table, panels, assignment, mode, n_rows
+    )
+    return totals
+
+
+def _table_totals_with_times(
+    arch: Architecture,
+    table: Dict[str, np.ndarray],
+    panels: np.ndarray,
+    assignment: np.ndarray,
+    mode: ExecutionMode,
+    n_rows: int,
+) -> Tuple[PredictedTotals, np.ndarray, np.ndarray]:
     """Readjusted totals for an assignment over an explicit cost table.
 
     Works on arrays alone (no tiling object) so split candidates -- whose
     expanded tilings exist only as arrays -- score through the exact same
-    arithmetic as whole-tile candidates.
+    arithmetic as whole-tile candidates.  Also returns the composed
+    per-tile hot/cold time arrays, which the contention scorer's
+    granularity floors consume.
     """
     hot_first, cold_first = _first_masks(panels, assignment)
     ht = np.where(hot_first, table["hot_first_time"], table["hot_base_time"])
@@ -798,13 +925,14 @@ def _table_totals(
     t_merge = 0.0
     if mode is ExecutionMode.PARALLEL and any_hot and any_cold:
         t_merge = arch.merge_time_s(n_rows)
-    return PredictedTotals(
+    totals = PredictedTotals(
         th_total=th_total,
         tc_total=tc_total,
         bh_total=bh_total,
         bc_total=bc_total,
         t_merge=t_merge,
     )
+    return totals, ht, ct
 
 
 class _SplitPartsView:
@@ -824,6 +952,15 @@ class _SplitPartsView:
         s = tiled.stats
         lo = int(tiled.tile_offsets[tile])
         hi = int(tiled.tile_offsets[tile + 1])
+        # Degenerate cuts must be rejected here, not just downstream:
+        # with hot_nnz == 0 or == the tile's nnz, ``tiled.rows[lo + hot_nnz]``
+        # would read the *next* tile's first row -- or past the array on
+        # the last tile -- and silently produce garbage part heights.
+        if not 0 < hot_nnz < hi - lo:
+            raise ValueError(
+                f"degenerate split of tile {tile}: hot_nnz must be in "
+                f"(0, {hi - lo}), got {hot_nnz}"
+            )
         cut = lo + hot_nnz
         rows_a, rows_b = tiled.rows[lo:cut], tiled.rows[cut:hi]
         cols_a, cols_b = tiled.cols[lo:cut], tiled.cols[cut:hi]
@@ -869,14 +1006,19 @@ def _score_split(
     arch = partitioner.arch
     lo = int(tiled.tile_offsets[tile])
     hi = int(tiled.tile_offsets[tile + 1])
-    fresh = _cost_table(partitioner, _SplitPartsView(tiled, tile, hot_nnz), 2)
+    view = _SplitPartsView(tiled, tile, hot_nnz)  # rejects degenerate cuts
+    fresh = _cost_table(partitioner, view, 2)
     ext = {
         name: np.concatenate([table[name][:tile], pair, table[name][tile + 1 :]])
         for name, pair in zip(_TABLE_NAMES, fresh)
     }
-    panels = tiled.stats.tile_row
+    s = tiled.stats
+    panels = s.tile_row
     ext_panels = np.concatenate(
         [panels[:tile], panels[tile : tile + 1], panels[tile:]]
+    )
+    ext_uniq = np.concatenate(
+        [s.uniq_rids[:tile], view.stats.uniq_rids, s.uniq_rids[tile + 1 :]]
     )
     ext_assignment = np.concatenate(
         [assignment[:tile], [True, False], assignment[tile + 1 :]]
@@ -884,22 +1026,27 @@ def _score_split(
     modes = [ExecutionMode.PARALLEL]
     if not arch.atomic_updates:
         modes.append(ExecutionMode.SERIAL)
-    best: Optional[Tuple[float, PredictedTotals, ExecutionMode]] = None
+    best: Optional[Tuple[float, float, PredictedTotals, ExecutionMode]] = None
     for mode in modes:
-        totals = _table_totals(
+        totals, hot_times, cold_times = _table_totals_with_times(
             arch, ext, ext_panels, ext_assignment, mode, tiled.matrix.n_rows
         )
-        time_s = _runtime_from_totals(arch, totals, mode)
+        time_s, naive_s = _evaluate_totals(
+            partitioner, totals, mode, hot_times, cold_times,
+            ext_uniq, ext_panels, ext_assignment,
+        )
         if best is None or time_s < best[0]:
-            best = (time_s, totals, mode)
+            best = (time_s, naive_s, totals, mode)
     final_assignment = assignment.copy()
     final_assignment[tile] = True
     return PartitionResult(
         label=Heuristic.BLOCK_SPLIT.value,
         assignment=final_assignment,
-        mode=best[2],
+        mode=best[3],
         predicted_time_s=best[0],
-        totals=best[1],
+        totals=best[2],
+        naive_time_s=best[1],
+        scorer=partitioner.scorer,
         split=TileSplit(
             tile=tile,
             hot_nnz=hot_nnz,
@@ -935,6 +1082,8 @@ def _block_split_candidate(
         predicted_time_s=base.predicted_time_s,
         totals=base.totals,
         split=None,
+        naive_time_s=base.naive_time_s,
+        scorer=base.scorer,
     )
     assignment = np.asarray(base.assignment, dtype=bool)
     totals = base.totals
@@ -975,12 +1124,18 @@ def _block_split_candidate(
             probes.add(int(bounds[p]))
     for q in (0.25, 0.5, 0.75):
         probes.add(int(bounds[min(bounds.size - 1, int(q * bounds.size))]))
+    # Row-boundary probes are interior by construction; reject degenerate
+    # cuts explicitly anyway so no probe can ever read past the tile.
+    probes = {cut for cut in probes if 0 < cut < nnz_j}
 
     best: Optional[PartitionResult] = None
     for cut in sorted(probes):
         result = _score_split(partitioner, tiled, table, assignment, tile, cut)
         if best is None or result.predicted_time_s < best.predicted_time_s:
             best = result
+    # The comparison runs under the partitioner's active scorer (both
+    # sides were scored by it), so a split must strictly improve the
+    # contention-aware prediction -- not the naive one -- to be chosen.
     if best is not None and best.predicted_time_s < base.predicted_time_s:
         return best
     return fallback

@@ -1,0 +1,375 @@
+"""Model-fidelity sweep: signed predicted-vs-simulated error per candidate.
+
+``hottiles fidelity`` partitions a committed matrix set on every
+architecture twice -- once with the contention-aware evaluator
+(:mod:`repro.core.contention`) and once with the naive Fig. 8 closed
+forms -- then simulates *every* candidate each partitioner scored and
+records the signed relative error ``(predicted - simulated) / simulated``
+per (matrix, arch, heuristic, scorer) row into a JSON report.
+
+Two gates close ROADMAP item 2 and keep it closed:
+
+1. **The recorded PCIe block-split mispredict must stay fixed.**  On the
+   committed skew-heavy matrix x PCIe architecture, the naive scorer's
+   block-split candidate predicts a win over the best whole-tile
+   candidate but simulates a loss ("predicted win, simulated loss"); the
+   contention-aware scorer's predicted and simulated deltas must agree in
+   sign, and PCIe-arch mean |error| under contention must be strictly
+   below the naive model's.
+2. **No silent regressions.**  With ``--baseline`` pointing at the
+   committed ``benchmarks/FIDELITY_BASELINE.json``, any (arch, scorer,
+   heuristic) group whose mean |signed error| worsens beyond
+   ``--tolerance`` fails the run (the CI ``fidelity-smoke`` job).
+
+Simulations are deduplicated by (assignment, mode, split) across the two
+scorer passes, so identical candidates -- all of them, on non-PCIe
+architectures, where the two models are bit-equal by construction -- are
+simulated once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.configs import piuma, spade_sextans, spade_sextans_pcie
+from repro.core.partition import Heuristic, HotTilesPartitioner
+from repro.sim.engine import simulate
+from repro.sparse import generators
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.tiling import TiledMatrix
+
+__all__ = [
+    "ARCHES",
+    "MATRICES",
+    "skew_heavy_matrix",
+    "run_fidelity",
+    "check_baseline",
+    "main",
+]
+
+
+def skew_heavy_matrix(n=2048, block_rows=200, per_row=180, background=4000, seed=7):
+    """One dominating dense block plus sparse background (the committed case).
+
+    The block concentrates most nonzeros in a handful of tiles, so the
+    best whole-tile assignment leaves one worker group starved -- exactly
+    the imbalance a row-aligned block split can repair, and exactly the
+    shape on which the naive model over-credited the PCIe-capped hot
+    side (EXPERIMENTS.md, ROADMAP item 2).
+    """
+    rng = np.random.default_rng(seed)
+    r_blk = np.repeat(np.arange(block_rows), per_row)
+    c_blk = np.concatenate(
+        [rng.choice(256, size=per_row, replace=False) for _ in range(block_rows)]
+    )
+    r_bg = rng.integers(0, n, background)
+    c_bg = rng.integers(0, n, background)
+    rows = np.concatenate([r_blk, r_bg])
+    cols = np.concatenate([c_blk, c_bg])
+    key = rows.astype(np.int64) * n + cols
+    _, keep = np.unique(key, return_index=True)
+    return SparseMatrix(n, n, rows[keep], cols[keep])
+
+
+#: The committed sweep set: deterministic recipes, no files to ship.
+MATRICES: Dict[str, Callable[[], SparseMatrix]] = {
+    "skew-heavy": skew_heavy_matrix,
+    "rmat10": lambda: generators.rmat(scale=10, nnz=8000, seed=42),
+    "uniform1k": lambda: generators.uniform_random(1024, 1024, 8000, seed=42),
+    "banded1k": lambda: generators.banded(1024, 10000, bandwidth=24, seed=42),
+}
+
+#: Architecture short names -> factories (PCIe is the interesting column).
+ARCHES: Dict[str, Callable[[], Any]] = {
+    "spade": lambda: spade_sextans(4),
+    "pcie": lambda: spade_sextans_pcie(4),
+    "piuma": piuma,
+}
+
+#: The (matrix, arch) cell whose block-split sign flip is the fix under test.
+_FLIP_CASE = ("skew-heavy", "pcie")
+
+
+def _sim_time(cache: Dict[Tuple, float], arch, tiled, cand) -> float:
+    """Simulated time of one candidate, deduped across scorer passes."""
+    split = cand.split
+    key = (
+        cand.mode.value,
+        None if split is None else (split.tile, split.hot_nnz, split.row_cut),
+        cand.assignment.tobytes(),
+    )
+    if key not in cache:
+        cache[key] = simulate(
+            arch, tiled, cand.assignment, cand.mode, split=split
+        ).time_s
+    return cache[key]
+
+
+def _split_deltas(result, sim_of) -> Optional[Dict[str, Any]]:
+    """Predicted and simulated block-split deltas vs the best other candidate.
+
+    Negative delta = the split is better.  ``agree`` is whether the model
+    and the simulator agree on the *sign* of choosing the split.
+    """
+    bs = result.candidates.get(Heuristic.BLOCK_SPLIT)
+    if bs is None or bs.split is None:
+        return None
+    others = {
+        h: r for h, r in result.candidates.items() if h is not Heuristic.BLOCK_SPLIT
+    }
+    best = min(others.values(), key=lambda r: r.predicted_time_s)
+    pred_delta = bs.predicted_time_s - best.predicted_time_s
+    sim_delta = sim_of(bs) - sim_of(best)
+    return {
+        "split_predicted_s": bs.predicted_time_s,
+        "split_simulated_s": sim_of(bs),
+        "base_predicted_s": best.predicted_time_s,
+        "base_simulated_s": sim_of(best),
+        "pred_delta_s": pred_delta,
+        "sim_delta_s": sim_delta,
+        "agree": bool(np.sign(pred_delta) == np.sign(sim_delta)),
+    }
+
+
+def run_fidelity(
+    matrices: Optional[List[str]] = None,
+    arches: Optional[List[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the sweep; returns the full report (rows + summary + flip case)."""
+    say = progress or (lambda _msg: None)
+    matrix_names = list(MATRICES) if matrices is None else list(matrices)
+    arch_names = list(ARCHES) if arches is None else list(arches)
+    unknown = [m for m in matrix_names if m not in MATRICES]
+    unknown += [a for a in arch_names if a not in ARCHES]
+    if unknown:
+        raise ValueError(f"unknown matrix/arch name(s): {', '.join(unknown)}")
+
+    rows: List[Dict[str, Any]] = []
+    flip_case: Dict[str, Any] = {}
+    for mat_name in matrix_names:
+        matrix = MATRICES[mat_name]()
+        for arch_name in arch_names:
+            arch = ARCHES[arch_name]()
+            tiled = TiledMatrix(matrix, arch.tile_height, arch.tile_width)
+            sim_cache: Dict[Tuple, float] = {}
+            sim_of = lambda cand: _sim_time(sim_cache, arch, tiled, cand)
+            for contention in (False, True):
+                scorer = "contention" if contention else "naive"
+                say(f"{mat_name} x {arch_name} [{scorer}]")
+                result = HotTilesPartitioner(
+                    arch, contention_aware=contention
+                ).partition(tiled)
+                for heuristic, cand in result.candidates.items():
+                    sim_s = sim_of(cand)
+                    pred_s = cand.predicted_time_s
+                    rows.append(
+                        {
+                            "matrix": mat_name,
+                            "arch": arch_name,
+                            "heuristic": heuristic.value,
+                            "scorer": scorer,
+                            "predicted_s": pred_s,
+                            "simulated_s": sim_s,
+                            "signed_err": (pred_s - sim_s) / sim_s,
+                            "chosen": heuristic.value == result.chosen.label,
+                        }
+                    )
+                if (mat_name, arch_name) == _FLIP_CASE:
+                    deltas = _split_deltas(result, sim_of)
+                    if deltas is not None:
+                        flip_case[scorer] = deltas
+
+    return {
+        "rows": rows,
+        "summary": _summarize(rows),
+        "flip_case": {"matrix": _FLIP_CASE[0], "arch": _FLIP_CASE[1], **flip_case},
+    }
+
+
+def _summarize(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Nested mean-error summary: arch -> scorer -> (+ per-heuristic)."""
+    summary: Dict[str, Any] = {}
+    for arch_name in sorted({r["arch"] for r in rows}):
+        summary[arch_name] = {}
+        for scorer in ("naive", "contention"):
+            group = [r for r in rows if r["arch"] == arch_name and r["scorer"] == scorer]
+            if not group:
+                continue
+            errs = np.array([r["signed_err"] for r in group])
+            per_heuristic = {}
+            for heuristic in sorted({r["heuristic"] for r in group}):
+                h_errs = np.array(
+                    [r["signed_err"] for r in group if r["heuristic"] == heuristic]
+                )
+                per_heuristic[heuristic] = {
+                    "mean_signed_err": float(h_errs.mean()),
+                    "mean_abs_err": float(np.abs(h_errs).mean()),
+                    "n": int(h_errs.size),
+                }
+            summary[arch_name][scorer] = {
+                "mean_signed_err": float(errs.mean()),
+                "mean_abs_err": float(np.abs(errs).mean()),
+                "max_abs_err": float(np.abs(errs).max()),
+                "n": int(errs.size),
+                "heuristics": per_heuristic,
+            }
+    return summary
+
+
+def check_report(report: Dict[str, Any]) -> List[str]:
+    """The acceptance gates; returns failure messages (empty = pass)."""
+    failures: List[str] = []
+    flip = report.get("flip_case", {})
+    naive = flip.get("naive")
+    contention = flip.get("contention")
+    if naive is None:
+        failures.append(
+            "flip case: naive scorer produced no block split on the "
+            "skew-heavy PCIe cell (expected the recorded mispredict)"
+        )
+    elif naive["agree"]:
+        failures.append(
+            "flip case: naive scorer no longer exhibits the recorded "
+            "predicted-win/simulated-loss disagreement -- baseline drifted"
+        )
+    if contention is not None and not contention["agree"]:
+        failures.append(
+            "flip case: contention-aware predicted and simulated block-split "
+            f"deltas disagree in sign (pred {contention['pred_delta_s']:+.3e}, "
+            f"sim {contention['sim_delta_s']:+.3e})"
+        )
+    pcie = report.get("summary", {}).get("pcie", {})
+    if "naive" in pcie and "contention" in pcie:
+        if not pcie["contention"]["mean_abs_err"] < pcie["naive"]["mean_abs_err"]:
+            failures.append(
+                "PCIe mean |error| did not improve: contention "
+                f"{pcie['contention']['mean_abs_err']:.4f} >= naive "
+                f"{pcie['naive']['mean_abs_err']:.4f}"
+            )
+    # Non-PCIe architectures: both scorers are the same model by
+    # construction, so their per-row errors must match exactly.
+    for arch_name, per_scorer in report.get("summary", {}).items():
+        if arch_name == "pcie" or "naive" not in per_scorer:
+            continue
+        if per_scorer.get("contention", {}) and (
+            per_scorer["contention"]["mean_signed_err"]
+            != per_scorer["naive"]["mean_signed_err"]
+        ):
+            failures.append(
+                f"{arch_name}: contention and naive scorers diverged on a "
+                "non-PCIe architecture (bit-equality broken)"
+            )
+    return failures
+
+
+def check_baseline(
+    report: Dict[str, Any], baseline: Dict[str, Any], tolerance: float
+) -> List[str]:
+    """Per (arch, scorer, heuristic) drift gate vs a committed baseline."""
+    failures: List[str] = []
+    for arch_name, per_scorer in baseline.get("summary", {}).items():
+        for scorer, base in per_scorer.items():
+            now = report.get("summary", {}).get(arch_name, {}).get(scorer)
+            if now is None:
+                failures.append(f"{arch_name}/{scorer}: missing from current report")
+                continue
+            for heuristic, base_h in base.get("heuristics", {}).items():
+                now_h = now.get("heuristics", {}).get(heuristic)
+                if now_h is None:
+                    failures.append(
+                        f"{arch_name}/{scorer}/{heuristic}: missing from current report"
+                    )
+                    continue
+                if now_h["mean_abs_err"] > base_h["mean_abs_err"] + tolerance:
+                    failures.append(
+                        f"{arch_name}/{scorer}/{heuristic}: mean |signed error| "
+                        f"worsened {base_h['mean_abs_err']:.4f} -> "
+                        f"{now_h['mean_abs_err']:.4f} (tolerance {tolerance})"
+                    )
+    return failures
+
+
+def format_summary(report: Dict[str, Any]) -> str:
+    lines = ["arch     scorer      mean|err|  mean err   max|err|   rows"]
+    for arch_name, per_scorer in report["summary"].items():
+        for scorer, s in per_scorer.items():
+            lines.append(
+                f"{arch_name:8s} {scorer:10s}  {s['mean_abs_err']:8.4f}  "
+                f"{s['mean_signed_err']:+8.4f}  {s['max_abs_err']:8.4f}   {s['n']}"
+            )
+    flip = report.get("flip_case", {})
+    for scorer in ("naive", "contention"):
+        d = flip.get(scorer)
+        if d:
+            lines.append(
+                f"flip case ({flip['matrix']} x {flip['arch']}, {scorer}): "
+                f"pred delta {d['pred_delta_s']:+.3e} s, "
+                f"sim delta {d['sim_delta_s']:+.3e} s -> "
+                f"{'agree' if d['agree'] else 'DISAGREE'}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hottiles fidelity",
+        description="predicted-vs-simulated error sweep: contention vs naive model",
+    )
+    parser.add_argument(
+        "-o", "--output", default="FIDELITY_REPORT.json", help="report JSON path"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline JSON to gate drift against "
+        "(benchmarks/FIDELITY_BASELINE.json in CI)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="allowed mean-|signed-error| worsening per (arch, scorer, "
+        "heuristic) group vs the baseline (default: 0.02)",
+    )
+    parser.add_argument(
+        "--matrices", nargs="*", default=None, help=f"subset of: {', '.join(MATRICES)}"
+    )
+    parser.add_argument(
+        "--arches", nargs="*", default=None, help=f"subset of: {', '.join(ARCHES)}"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = run_fidelity(
+            matrices=args.matrices, arches=args.arches, progress=print
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    out = Path(args.output)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(format_summary(report))
+    print(f"report written to {out} ({len(report['rows'])} rows)")
+
+    failures = []
+    # The flip-case and improvement gates only apply when the PCIe cell ran.
+    if args.matrices is None and (args.arches is None or "pcie" in args.arches):
+        failures += check_report(report)
+    if args.baseline is not None:
+        baseline = json.loads(Path(args.baseline).read_text())
+        failures += check_baseline(report, baseline, args.tolerance)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -218,6 +218,10 @@ class PlanService:
         self._timeout = m.counter("requests_timeout")
         self._degraded = m.counter("requests_degraded")
         self._computed = m.counter("plans_computed")
+        # Which runtime model selected each computed plan (audit trail;
+        # 'contention' only appears for PCIe-attached architectures).
+        self._scored_contention = m.counter("plans_scored_contention")
+        self._scored_naive = m.counter("plans_scored_naive")
         self._cancelled = m.counter("plans_cancelled")
         self._retried = m.counter("plans_retried")
         self._deltas_applied = m.counter("deltas_applied")
@@ -437,6 +441,12 @@ class PlanService:
                 hot_tiles=chosen.hot_tile_count,
                 hot_nnz_fraction=update.hot_nnz_fraction,
                 predicted_time_s=chosen.predicted_time_s,
+                naive_time_s=(
+                    chosen.naive_time_s
+                    if chosen.naive_time_s is not None
+                    else chosen.predicted_time_s
+                ),
+                scorer=chosen.scorer,
                 scan_s=0.0,
                 partition_s=wall,
                 format_generation_s=0.0,
@@ -573,6 +583,7 @@ class PlanService:
         plan (docs/faults.md).  Returns ``None`` if even the fallback
         fails, in which case the caller falls through to PlanTimeout.
         """
+        from repro.core.contention import effective_cold_bw, effective_hot_bw
         from repro.core.roofline import roofline_estimate
 
         start = time.monotonic()
@@ -580,10 +591,11 @@ class PlanService:
             with tracer.span("service.degraded", cat="service", digest=digest[:12]):
                 matrix = request.resolve_matrix()
                 arch = request.build_architecture()
-                bw = arch.mem_bw_bytes_per_sec
-                hot_bw = bw
-                if arch.pcie_bw_bytes_per_sec is not None:
-                    hot_bw = min(hot_bw, arch.pcie_bw_bytes_per_sec)
+                # Same drain-rate caps as the contention evaluator: the hot
+                # group is serialized through PCIe *and* DRAM; the cold
+                # group through DRAM (and its own aggregate peak rate).
+                bw = effective_cold_bw(arch)
+                hot_bw = effective_hot_bw(arch)
                 candidates = []
                 if arch.hot.count > 0:
                     th = roofline_estimate(
@@ -616,6 +628,8 @@ class PlanService:
                     plan_wall_s=time.monotonic() - start,
                     artifacts=(),
                     created_unix=time.time(),
+                    naive_time_s=predicted_s,
+                    scorer="roofline",
                 )
         except Exception as exc:  # noqa: BLE001 -- fallback is best-effort
             tracer.event(
@@ -758,6 +772,10 @@ class PlanService:
             plan_wall_s=time.monotonic() - start,
             artifacts=artifacts,
         )
+        if result.scorer == "contention":
+            self._scored_contention.inc()
+        else:
+            self._scored_naive.inc()
         # Publish to the store *before* waking waiters/deregistering so a
         # request that misses the in-flight map can only do so after the
         # store already holds the result.

@@ -283,6 +283,8 @@ class PlanResult:
     plan_wall_s: float  #: end-to-end planning wall-clock (resolve + pipeline + persist)
     artifacts: Tuple[str, ...] = field(default_factory=tuple)
     created_unix: float = 0.0
+    naive_time_s: float = 0.0  #: Fig. 8 closed-form prediction (audit trail)
+    scorer: str = "naive"  #: which model selected the plan: 'contention' | 'naive' | 'roofline'
 
     def to_dict(self) -> Dict[str, Any]:
         out = asdict(self)
@@ -291,11 +293,19 @@ class PlanResult:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "PlanResult":
-        try:
-            kwargs = {f: payload[f] for f in cls.__dataclass_fields__}
-        except KeyError as exc:
-            raise ProtocolError(f"plan result missing field {exc.args[0]!r}") from None
-        kwargs["artifacts"] = tuple(kwargs["artifacts"])
+        import dataclasses
+
+        kwargs = {}
+        for f in dataclasses.fields(cls):
+            if f.name in payload:
+                kwargs[f.name] = payload[f.name]
+            elif (
+                f.default is dataclasses.MISSING
+                and f.default_factory is dataclasses.MISSING
+            ):
+                raise ProtocolError(f"plan result missing field {f.name!r}")
+        if "artifacts" in kwargs:
+            kwargs["artifacts"] = tuple(kwargs["artifacts"])
         return cls(**kwargs)
 
     @classmethod
@@ -325,6 +335,12 @@ class PlanResult:
             hot_tiles=chosen.hot_tile_count,
             hot_nnz_fraction=chosen.hot_nnz_fraction(preprocess.tiled),
             predicted_time_s=chosen.predicted_time_s,
+            naive_time_s=(
+                chosen.naive_time_s
+                if chosen.naive_time_s is not None
+                else chosen.predicted_time_s
+            ),
+            scorer=chosen.scorer,
             scan_s=cost.scan_s,
             partition_s=cost.partition_s,
             format_generation_s=cost.format_generation_s,

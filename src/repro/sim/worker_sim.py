@@ -36,6 +36,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.arch.heterogeneous import Architecture
+from repro.core.contention import UNTILED_BLOCK_DIVISOR
 from repro.core.partition import TileSplit
 from repro.core.problem import Kernel, ProblemSpec
 from repro.core.reuse import effective_tile_heights, effective_tile_widths, sparse_bytes_accessed
@@ -48,8 +49,10 @@ __all__ = ["Chunk", "InstancePlan", "build_plans", "DEFAULT_UNTILED_BLOCK_DIVISO
 #: Untiled workers are scheduled in row blocks of
 #: ``tile_height // DEFAULT_UNTILED_BLOCK_DIVISOR`` rows (the paper's
 #: 64-row SPADE chunks are 1/128 of its 8192-row panels; we use a coarser
-#: 1/8 to keep simulator event counts manageable).
-DEFAULT_UNTILED_BLOCK_DIVISOR = 8
+#: 1/8 to keep simulator event counts manageable).  Defined in
+#: :mod:`repro.core.contention` so the analytical granularity floors and
+#: the scheduler can never disagree about the block size.
+DEFAULT_UNTILED_BLOCK_DIVISOR = UNTILED_BLOCK_DIVISOR
 
 
 @dataclass

@@ -27,25 +27,8 @@ from repro.sparse.tiling import TiledMatrix
 from repro.sparse import generators
 
 
-def skew_heavy_matrix(n=2048, block_rows=200, per_row=180, background=4000, seed=7):
-    """One dominating dense block plus sparse background.
-
-    The block concentrates most nonzeros in a handful of tiles, so the
-    best whole-tile assignment leaves one worker group starved -- exactly
-    the imbalance a row-aligned split can repair.
-    """
-    rng = np.random.default_rng(seed)
-    r_blk = np.repeat(np.arange(block_rows), per_row)
-    c_blk = np.concatenate(
-        [rng.choice(256, size=per_row, replace=False) for _ in range(block_rows)]
-    )
-    r_bg = rng.integers(0, n, background)
-    c_bg = rng.integers(0, n, background)
-    rows = np.concatenate([r_blk, r_bg])
-    cols = np.concatenate([c_blk, c_bg])
-    key = rows.astype(np.int64) * n + cols
-    _, keep = np.unique(key, return_index=True)
-    return SparseMatrix(n, n, rows[keep], cols[keep])
+# Canonical recipe lives with the fidelity sweep (same committed case).
+from repro.experiments.fidelity import skew_heavy_matrix  # noqa: E402
 
 
 @pytest.fixture(scope="module")
